@@ -1,0 +1,7 @@
+"""Benchmark collection configuration."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling figutils module importable from every bench module.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Miniature of the paper's Figure 8a: Mimir vs MR-MPI memory frontier.
+
+Sweeps the WordCount dataset size on one simulated Comet node and
+prints, for each framework, the peak node memory and whether the run
+stayed in memory - showing MR-MPI's fixed footprint + early spill vs
+Mimir's proportional footprint + 4x reach.
+
+Run:  python examples/memory_comparison.py
+"""
+
+from repro.bench import BenchScale, ExperimentSpec, Series, run_spec
+from repro.bench.tables import render_memory_time_table
+from repro.mpi import COMET
+
+
+def main():
+    scale = BenchScale()
+    platform = scale.platform(COMET)
+    print(f"Simulated Comet node, {scale.describe()}")
+
+    series = Series("WordCount (Uniform): memory frontier")
+    for label in ["256M", "512M", "1G", "2G", "4G", "8G", "16G"]:
+        for name, framework, page in [
+            ("Mimir", "mimir", None),
+            ("MR-MPI(64M)", "mrmpi", platform.default_page_size),
+            ("MR-MPI(512M)", "mrmpi", platform.max_page_size),
+        ]:
+            series.add(run_spec(ExperimentSpec(
+                label=label, config_name=name, platform=platform,
+                nprocs=platform.procs_per_node, app="wc_uniform",
+                framework=framework, size=scale.size(label),
+                mrmpi_page=page)))
+    print(render_memory_time_table(series))
+    print("\n(* = spilled to the parallel file system; OOM = exceeded"
+          "\n the per-rank memory budget, as in the paper's figures)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""The paper's three evaluation benchmarks, on both frameworks.
+
+- WordCount (WC): single-pass MapReduce (Section IV-A).
+- Octree clustering (OC): iterative multi-stage MapReduce over 3-D
+  points (Estrada et al.'s ligand-classification algorithm).
+- Breadth-first search (BFS): iterative map-only traversal of a
+  Graph500 Kronecker graph.
+
+Every app exposes ``<name>_mimir(env, ...)`` and ``<name>_mrmpi(env,
+...)`` drivers that run the same logical algorithm through either
+framework, which is what the figure-reproduction benches sweep.
+
+Two further classic MapReduce workloads (PageRank and connected
+components) extend the suite beyond the paper's three benchmarks.
+"""
+
+from repro.apps.bfs import bfs_mimir, bfs_mrmpi
+from repro.apps.components import components_mimir
+from repro.apps.inverted_index import inverted_index_mimir
+from repro.apps.join import join_mimir
+from repro.apps.kmeans import kmeans_mimir
+from repro.apps.octree import octree_mimir, octree_mrmpi
+from repro.apps.pagerank import pagerank_mimir
+from repro.apps.terasort import terasort_mimir
+from repro.apps.wordcount import wordcount_mimir, wordcount_mrmpi
+
+__all__ = [
+    "bfs_mimir",
+    "bfs_mrmpi",
+    "components_mimir",
+    "inverted_index_mimir",
+    "join_mimir",
+    "kmeans_mimir",
+    "octree_mimir",
+    "octree_mrmpi",
+    "pagerank_mimir",
+    "terasort_mimir",
+    "wordcount_mimir",
+    "wordcount_mrmpi",
+]

@@ -1,0 +1,123 @@
+"""Graph500-style BFS output validation.
+
+The Graph500 specification validates a BFS run with five structural
+checks rather than comparing against a reference traversal.  This
+module implements them over the reproduction's edge lists and parent
+maps, so any BFS result (either framework, any optimization set) can
+be certified independently of networkx:
+
+1. the parent map forms a tree rooted at the root (no cycles,
+   ``parent[root] == root``);
+2. every tree edge exists in the input graph;
+3. tree levels of parent and child differ by exactly one;
+4. every graph edge connects vertices whose levels differ by at most
+   one (both endpoints visited or both unvisited);
+5. the tree spans exactly the root's connected component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of the five Graph500 checks."""
+
+    violations: list[str] = field(default_factory=list)
+    levels: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+
+def _component_of(edges: np.ndarray, root: int) -> set[int]:
+    """Reference reachability (union-find over the undirected edges)."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges.tolist():
+        if u == v:
+            continue
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    root_rep = find(root)
+    return {x for x in parent if find(x) == root_rep}
+
+
+def validate_bfs(edges: np.ndarray, root: int,
+                 parents: dict[int, int]) -> ValidationReport:
+    """Run the five Graph500 checks; returns a report of violations."""
+    report = ValidationReport()
+
+    # Check 1: tree structure rooted at root.
+    if parents.get(root) != root:
+        report.add(f"root {root} does not map to itself")
+        return report
+    levels: dict[int, int] = {root: 0}
+    for vertex in parents:
+        chain = []
+        v = vertex
+        while v not in levels:
+            chain.append(v)
+            p = parents.get(v)
+            if p is None:
+                report.add(f"vertex {v} reached through unvisited parent")
+                return report
+            if p in chain or len(chain) > len(parents):
+                report.add(f"cycle in parent chain at vertex {v}")
+                return report
+            v = p
+        base = levels[v]
+        for depth, u in enumerate(reversed(chain), start=1):
+            levels[u] = base + depth
+    report.levels = levels
+
+    # Check 2: every tree edge is a graph edge.
+    edge_set = set()
+    for u, v in edges.tolist():
+        if u != v:
+            edge_set.add((u, v))
+            edge_set.add((v, u))
+    for vertex, parent in parents.items():
+        if vertex != root and (vertex, parent) not in edge_set:
+            report.add(f"tree edge ({vertex}, {parent}) not in the graph")
+
+    # Check 3: tree edges span exactly one level.
+    for vertex, parent in parents.items():
+        if vertex != root and levels[vertex] != levels[parent] + 1:
+            report.add(
+                f"tree edge ({parent}->{vertex}) spans levels "
+                f"{levels[parent]}->{levels[vertex]}")
+
+    # Check 4: graph edges span at most one level.
+    for u, v in edges.tolist():
+        if u == v:
+            continue
+        lu, lv = levels.get(u), levels.get(v)
+        if (lu is None) != (lv is None):
+            report.add(f"edge ({u}, {v}) crosses the visited frontier")
+        elif lu is not None and abs(lu - lv) > 1:
+            report.add(f"edge ({u}, {v}) spans levels {lu} and {lv}")
+
+    # Check 5: the tree covers exactly the root's component.
+    component = _component_of(edges, root)
+    missing = component - set(parents)
+    extra = set(parents) - component
+    if missing:
+        report.add(f"{len(missing)} reachable vertices not in the tree")
+    if extra:
+        report.add(f"{len(extra)} tree vertices outside the component")
+    return report

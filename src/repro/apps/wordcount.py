@@ -1,0 +1,101 @@
+"""WordCount (WC): the paper's single-pass benchmark.
+
+Counts occurrences of each unique word.  Key = the word (variable
+length), value = a 64-bit count.  The KV-hint declares the key
+NUL-terminated and the value fixed at 8 bytes (exactly the paper's
+WordCount example); KV compression and partial reduction both use
+count summation, which is commutative and associative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import RankEnv
+from repro.core import (
+    CSTRING,
+    KVLayout,
+    Mimir,
+    MimirConfig,
+    pack_u64,
+    unpack_u64,
+)
+from repro.mrmpi import MRMPI, MRMPIConfig
+
+#: The paper's WordCount KV-hint: NUL-terminated key, 8-byte value.
+WC_HINT_LAYOUT = KVLayout(key_len=CSTRING, val_len=8)
+
+_ONE = pack_u64(1)
+
+
+def wc_map(ctx, chunk: bytes) -> None:
+    """Emit ``(word, 1)`` for every word of the chunk."""
+    for word in chunk.split():
+        ctx.emit(word, _ONE)
+
+
+def wc_reduce(ctx, key: bytes, values: list[bytes]) -> None:
+    ctx.emit(key, pack_u64(sum(unpack_u64(v) for v in values)))
+
+
+def wc_combine(key: bytes, a: bytes, b: bytes) -> bytes:
+    """Sum two partial counts (combine / partial-reduce callback)."""
+    return pack_u64(unpack_u64(a) + unpack_u64(b))
+
+
+@dataclass
+class WordCountResult:
+    """Per-rank WordCount outcome."""
+
+    unique_words: int
+    total_words: int
+    counts: dict[bytes, int] | None = None
+    #: Encoded KV bytes this rank shipped through the shuffle (the
+    #: paper's Figure 7 metric; 0 for the MR-MPI driver).
+    kv_bytes: int = 0
+
+
+def wordcount_mimir(env: RankEnv, path: str,
+                    config: MimirConfig | None = None, *,
+                    hint: bool = False, compress: bool = False,
+                    partial: bool = False,
+                    collect: bool = False) -> WordCountResult:
+    """Run WordCount through Mimir with the selected optimizations."""
+    config = config or MimirConfig()
+    if hint:
+        config = config.with_layout(WC_HINT_LAYOUT)
+    mimir = Mimir(env, config)
+    kvs = mimir.map_text_file(path, wc_map,
+                              combine_fn=wc_combine if compress else None)
+    if partial:
+        out = mimir.partial_reduce(kvs, wc_combine,
+                                   out_layout=config.layout)
+    else:
+        out = mimir.reduce(kvs, wc_reduce, out_layout=config.layout)
+    unique = len(out)
+    total = sum(unpack_u64(v) for _, v in out.records())
+    counts = ({k: unpack_u64(v) for k, v in out.records()}
+              if collect else None)
+    out.free()
+    return WordCountResult(unique, total, counts,
+                           kv_bytes=mimir.last_map_stats.get("kv_bytes", 0))
+
+
+def wordcount_mrmpi(env: RankEnv, path: str,
+                    config: MRMPIConfig | None = None, *,
+                    compress: bool = False,
+                    collect: bool = False) -> WordCountResult:
+    """Run WordCount through the MR-MPI baseline."""
+    mr = MRMPI(env, config)
+    mr.map_text_file(path, wc_map)
+    if compress:
+        mr.compress(wc_combine)
+    mr.aggregate()
+    mr.convert()
+    mr.reduce(wc_reduce)
+    pairs = mr.collect()
+    unique = len(pairs)
+    total = sum(unpack_u64(v) for _, v in pairs)
+    counts = {k: unpack_u64(v) for k, v in pairs} if collect else None
+    mr.free()
+    return WordCountResult(unique, total, counts)

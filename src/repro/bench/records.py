@@ -1,0 +1,78 @@
+"""Benchmark outcome records and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.memory.limits import format_size
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one (config, dataset-size) data point."""
+
+    label: str                 # x-axis label, e.g. "4G" or "2^26"
+    config: str                # series name, e.g. "Mimir (hint;pr)"
+    peak_bytes: int = 0        # node peak (sum of per-rank peaks)
+    elapsed: float = 0.0       # virtual seconds
+    oom: bool = False          # ran out of memory (missing data point)
+    spilled: bool = False      # touched the I/O subsystem
+    spilled_bytes: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def in_memory(self) -> bool:
+        """Whether the paper would count this run as "in memory"."""
+        return not self.oom and not self.spilled
+
+    def memory_cell(self) -> str:
+        if self.oom:
+            return "OOM"
+        return format_size(self.peak_bytes)
+
+    def time_cell(self) -> str:
+        if self.oom:
+            return "OOM"
+        mark = "*" if self.spilled else ""
+        return f"{self.elapsed:.2f}s{mark}"
+
+
+@dataclass
+class Series:
+    """One figure's worth of records, grouped config x label."""
+
+    title: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def configs(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.config, None)
+        return list(seen)
+
+    @property
+    def labels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.label, None)
+        return list(seen)
+
+    def get(self, config: str, label: str) -> RunRecord | None:
+        for r in self.records:
+            if r.config == config and r.label == label:
+                return r
+        return None
+
+    def max_in_memory_label(self, config: str) -> str | None:
+        """Largest dataset this config processed fully in memory."""
+        best = None
+        for label in self.labels:
+            record = self.get(config, label)
+            if record is not None and record.in_memory:
+                best = label
+        return best

@@ -1,0 +1,67 @@
+"""Benchmark-time rescaling on top of the repository-wide 1/1024 scale.
+
+Paper experiments sweep up to 64 GB of text; even after the global
+1/1024 rescale that is tens of megabytes of pure-Python record
+processing per data point.  ``BenchScale`` applies a further power-of-
+two shrink (default 1/16, env ``REPRO_BENCH_SHIFT``) to *everything* -
+dataset sizes, page sizes, node memory, bandwidths - so all paper
+ratios survive while full figure sweeps run in seconds to minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.memory.limits import parse_size
+from repro.mpi.platforms import SCALE_SHIFT, Platform
+
+#: Default extra shrink exponent (2**3 = 8x) on top of the global 1024x.
+#: Smaller shifts increase fidelity (more records -> tighter hash-skew
+#: concentration) at the cost of longer bench runs.
+DEFAULT_EXTRA_SHIFT = 3
+
+
+def extra_shift_from_env() -> int:
+    """Read ``REPRO_BENCH_SHIFT`` (extra shrink exponent) from the env."""
+    raw = os.environ.get("REPRO_BENCH_SHIFT", "")
+    if not raw:
+        return DEFAULT_EXTRA_SHIFT
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"REPRO_BENCH_SHIFT must be >= 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Converts paper-quoted quantities into benchmark-run quantities."""
+
+    extra_shift: int = field(default_factory=extra_shift_from_env)
+
+    @property
+    def total_shift(self) -> int:
+        """Paper bytes are divided by ``2**total_shift``."""
+        return SCALE_SHIFT + self.extra_shift
+
+    def platform(self, platform: Platform) -> Platform:
+        """The benchmark variant of an already-globally-scaled platform."""
+        return platform.rescaled(self.extra_shift)
+
+    def size(self, paper_size: int | str) -> int:
+        """Scale a paper-quoted byte size (e.g. ``"4G"``) for a bench run."""
+        return max(1, parse_size(paper_size) >> self.total_shift)
+
+    def count(self, paper_count: int) -> int:
+        """Scale a paper-quoted cardinality (points, vertices).
+
+        Counts shrink by the same factor as bytes so that per-rank
+        record footprints keep their paper ratios.
+        """
+        if paper_count < 0:
+            raise ValueError(f"count must be non-negative, got {paper_count}")
+        return max(1, paper_count >> self.total_shift)
+
+    def describe(self) -> str:
+        return (f"1/{1 << self.total_shift} of paper scale "
+                f"(global 1/{1 << SCALE_SHIFT} x bench 1/{1 << self.extra_shift})")

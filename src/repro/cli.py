@@ -1,0 +1,173 @@
+"""Command-line interface: run workloads and inspect platforms.
+
+Examples::
+
+    python -m repro platforms
+    python -m repro run wc_uniform --size 4G --framework mimir --hint --pr
+    python -m repro run bfs --size 2^22 --platform mira --cps
+    python -m repro compare wc_wiki --size 2G
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import BenchScale, ExperimentSpec, Series, run_spec
+from repro.bench.runner import APPS
+from repro.bench.tables import render_memory_time_table
+from repro.memory.limits import format_size, parse_size
+from repro.mpi.platforms import PLATFORMS
+
+
+def _parse_size_arg(scale: BenchScale, app: str, text: str) -> int:
+    """Accept "4G" byte sizes for WC and "2^22" counts for OC/BFS."""
+    if text.startswith("2^"):
+        return scale.count(1 << int(text[2:]))
+    if app in ("wc_uniform", "wc_wiki"):
+        return scale.size(text)
+    return scale.count(int(text))
+
+
+def _spec_from_args(args, scale: BenchScale, config_name: str,
+                    framework: str, *, hint=False, pr=False, cps=False,
+                    mrmpi_page: int | None = None) -> ExperimentSpec:
+    platform = scale.platform(PLATFORMS[args.platform])
+    return ExperimentSpec(
+        label=args.size, config_name=config_name, platform=platform,
+        nprocs=args.nprocs or platform.procs_per_node,
+        app=args.app, framework=framework,
+        size=_parse_size_arg(scale, args.app, args.size),
+        mrmpi_page=mrmpi_page, hint=hint, partial=pr, compress=cps,
+        seed=args.seed)
+
+
+def cmd_platforms(args) -> int:
+    scale = BenchScale(extra_shift=args.shift)
+    print(f"benchmark scale: {scale.describe()}\n")
+    for name, platform in PLATFORMS.items():
+        p = scale.platform(platform)
+        print(f"{name}:")
+        print(f"  procs/node     : {p.procs_per_node}")
+        print(f"  node memory    : {format_size(p.node_memory)}")
+        print(f"  default page   : {format_size(p.default_page_size)}")
+        print(f"  max MR-MPI page: {format_size(p.max_page_size)}")
+        print(f"  network        : {p.network.bandwidth:.3g} B/s/link, "
+              f"{p.network.latency:.3g} s latency")
+        print(f"  PFS            : {p.pfs.effective_bandwidth:.3g} B/s read, "
+              f"write penalty {p.pfs.write_penalty:g}x")
+        print()
+    return 0
+
+
+def _print_record(record, nprocs: int) -> None:
+    if record.oom:
+        print("result       : OUT OF MEMORY")
+        return
+    spill = " (spilled to PFS)" if record.spilled else ""
+    print(f"peak memory  : {format_size(record.peak_bytes)} across "
+          f"{nprocs} ranks")
+    print(f"virtual time : {record.elapsed:.3f}s{spill}")
+
+
+def cmd_run(args) -> int:
+    scale = BenchScale(extra_shift=args.shift)
+    opts = []
+    if args.hint:
+        opts.append("hint")
+    if args.pr:
+        opts.append("pr")
+    if args.cps:
+        opts.append("cps")
+    if getattr(args, "ooc", False):
+        opts.append("ooc")
+    name = f"{args.framework}" + (f" ({';'.join(opts)})" if opts else "")
+    page = None
+    if args.framework == "mrmpi":
+        platform = scale.platform(PLATFORMS[args.platform])
+        page = max(1, parse_size(args.page) >> scale.total_shift) \
+            if args.page else platform.default_page_size
+    spec = _spec_from_args(args, scale, name, args.framework,
+                           hint=args.hint, pr=args.pr, cps=args.cps,
+                           mrmpi_page=page)
+    if getattr(args, "ooc", False):
+        from dataclasses import replace
+
+        spec = replace(spec, out_of_core=True)
+    print(f"running {args.app} ({args.size}) with {name} on "
+          f"{args.platform}...")
+    record = run_spec(spec)
+    _print_record(record, spec.nprocs)
+    return 1 if record.oom else 0
+
+
+def cmd_compare(args) -> int:
+    scale = BenchScale(extra_shift=args.shift)
+    platform = scale.platform(PLATFORMS[args.platform])
+    series = Series(f"{args.app} ({args.size}) on {args.platform}")
+    configs = [
+        ("Mimir", "mimir", {}, None),
+        ("Mimir (hint;pr;cps)", "mimir",
+         {"hint": True, "pr": True, "cps": True}, None),
+        ("MR-MPI (64M)", "mrmpi", {}, platform.default_page_size),
+        ("MR-MPI (max page)", "mrmpi", {}, platform.max_page_size),
+    ]
+    for name, framework, opts, page in configs:
+        series.add(run_spec(_spec_from_args(
+            args, scale, name, framework, mrmpi_page=page, **opts)))
+    print(render_memory_time_table(series))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mimir (IPDPS 2017) reproduction - simulated "
+                    "MapReduce-over-MPI workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plat = sub.add_parser("platforms", help="describe simulated platforms")
+    p_plat.add_argument("--shift", type=int, default=3,
+                        help="extra benchmark shrink exponent")
+    p_plat.set_defaults(fn=cmd_platforms)
+
+    def common(p):
+        p.add_argument("app", choices=APPS)
+        p.add_argument("--size", default="1G",
+                       help='dataset size: "4G" bytes or "2^22" count')
+        p.add_argument("--platform", choices=sorted(PLATFORMS),
+                       default="comet")
+        p.add_argument("--nprocs", type=int, default=None)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--shift", type=int, default=3)
+
+    p_run = sub.add_parser("run", help="run one workload configuration")
+    common(p_run)
+    p_run.add_argument("--framework", choices=["mimir", "mrmpi"],
+                       default="mimir")
+    p_run.add_argument("--hint", action="store_true",
+                       help="enable the KV-hint optimization")
+    p_run.add_argument("--pr", action="store_true",
+                       help="enable partial reduction")
+    p_run.add_argument("--cps", action="store_true",
+                       help="enable KV compression")
+    p_run.add_argument("--ooc", action="store_true",
+                       help="enable out-of-core KV containers (extension)")
+    p_run.add_argument("--page", default=None,
+                       help='MR-MPI page size in paper units (e.g. "512M")')
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare",
+                           help="compare frameworks on one workload")
+    common(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""One-stop simulated cluster: ranks + memory budgets + shared PFS.
+
+:class:`Cluster` is what benchmarks and examples run jobs on.  It
+launches a :class:`~repro.mpi.world.World`, gives every rank a
+:class:`~repro.memory.tracker.MemoryTracker` bounded by the platform's
+per-process memory, and shares one :class:`ParallelFileSystem` with the
+platform's I/O cost model.  Job functions receive a :class:`RankEnv`.
+
+``run(..., allow_oom=True)`` converts a rank's
+:class:`~repro.memory.tracker.MemoryLimitExceeded` into a result with
+``oom`` set instead of raising, which is how the benchmarks record the
+paper's "ran out of memory, data point missing" outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.io.pfs import ParallelFileSystem
+from repro.memory.limits import parse_size
+from repro.memory.tracker import MemoryLimitExceeded, MemoryTracker
+from repro.mpi.comm import SimComm
+from repro.mpi.errors import RankFailedError
+from repro.mpi.platforms import Platform
+from repro.mpi.world import World
+
+
+@dataclass
+class RankEnv:
+    """Everything one rank of a job can touch."""
+
+    comm: SimComm
+    tracker: MemoryTracker
+    pfs: ParallelFileSystem
+    platform: Platform
+
+    def charge_compute(self, nbytes: int) -> None:
+        """Advance this rank's clock for processing ``nbytes`` of records."""
+        self.comm.advance(nbytes / self.platform.compute_rate)
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one job on a simulated cluster."""
+
+    returns: list[Any]
+    elapsed: float
+    peak_bytes: list[int]
+    spilled_bytes: int
+    oom: MemoryLimitExceeded | None = None
+    oom_rank: int | None = None
+
+    @property
+    def ran_out_of_memory(self) -> bool:
+        return self.oom is not None
+
+    @property
+    def node_peak_bytes(self) -> int:
+        """Sum of per-rank peaks: the paper's per-node peak memory metric."""
+        return sum(self.peak_bytes)
+
+    @property
+    def max_rank_peak_bytes(self) -> int:
+        return max(self.peak_bytes) if self.peak_bytes else 0
+
+
+class Cluster:
+    """A simulated allocation of ``nprocs`` ranks on ``platform``."""
+
+    def __init__(self, platform: Platform, nprocs: int | None = None, *,
+                 nodes: int = 1,
+                 memory_limit: int | str | None = "auto",
+                 pfs: ParallelFileSystem | None = None,
+                 keep_timeline: bool = False):
+        self.platform = platform
+        self.nprocs = nprocs if nprocs is not None else platform.procs_per_node
+        if self.nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {self.nprocs}")
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        self.nodes = nodes
+        if memory_limit == "auto":
+            # Ranks on one node split the node's memory evenly.
+            ranks_per_node = -(-self.nprocs // nodes)
+            self._limit: int | None = platform.node_memory // ranks_per_node
+        elif memory_limit is None:
+            self._limit = None
+        else:
+            self._limit = parse_size(memory_limit)
+        # Ranks of one node contend for the node's PFS bandwidth.
+        sharers = -(-self.nprocs // nodes)
+        self.pfs = pfs or ParallelFileSystem(platform.pfs, sharers=sharers)
+        self.keep_timeline = keep_timeline
+        self._trackers: list[MemoryTracker] = []
+
+    @property
+    def memory_limit_per_rank(self) -> int | None:
+        return self._limit
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            allow_oom: bool = False) -> ClusterResult:
+        """Run ``fn(env, *args)`` on every rank; gather the outcome."""
+        trackers = [
+            MemoryTracker(self._limit, keep_timeline=self.keep_timeline)
+            for _ in range(self.nprocs)
+        ]
+        self._trackers = trackers
+        world = World(self.nprocs, self.platform.network,
+                      nnodes=self.nodes)
+
+        def rank_fn(comm: SimComm) -> Any:
+            env = RankEnv(comm, trackers[comm.rank], self.pfs, self.platform)
+            return fn(env, *args)
+
+        try:
+            world_result = world.run(rank_fn)
+        except RankFailedError as failure:
+            original = failure.original
+            if allow_oom and isinstance(original, MemoryLimitExceeded):
+                return ClusterResult(
+                    returns=[None] * self.nprocs,
+                    elapsed=0.0,
+                    peak_bytes=[t.peak for t in trackers],
+                    spilled_bytes=self.pfs.spilled_bytes,
+                    oom=original,
+                    oom_rank=failure.rank,
+                )
+            raise
+
+        return ClusterResult(
+            returns=world_result.returns,
+            elapsed=world_result.elapsed,
+            peak_bytes=[t.peak for t in trackers],
+            spilled_bytes=self.pfs.spilled_bytes,
+        )
+
+    @property
+    def trackers(self) -> list[MemoryTracker]:
+        """Trackers from the most recent :meth:`run` (post-mortem analysis)."""
+        return self._trackers

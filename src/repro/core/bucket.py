@@ -1,0 +1,121 @@
+"""Memory-accounted hash bucket of unique keys.
+
+Used by the three places the paper keeps per-unique-key state: the
+two-pass convert (size gathering), KV compression (map-side combine),
+and partial reduction.  Every entry is charged to the rank's memory
+tracker - the paper is explicit that these buckets cost memory and only
+pay off when duplicate keys are frequent, and that trade-off must show
+up in the peak-memory measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.memory.tracker import MemoryTracker
+
+
+class AccountedBucket:
+    """A ``dict[bytes, bytes]``-like map charged to a tracker.
+
+    The accounting model is ``len(key) + len(value) + entry_overhead``
+    bytes per entry, adjusted when a value is replaced by one of a
+    different size.
+    """
+
+    def __init__(self, tracker: MemoryTracker, entry_overhead: int = 48,
+                 tag: str = "bucket"):
+        self.tracker = tracker
+        self.entry_overhead = entry_overhead
+        self.tag = tag
+        self._data: dict[bytes, bytes] = {}
+        self.accounted_bytes = 0
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._data.get(key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or replace, keeping the accounting in sync."""
+        old = self._data.get(key)
+        if old is None:
+            delta = len(key) + len(value) + self.entry_overhead
+            self.tracker.allocate(delta, self.tag)
+            self.accounted_bytes += delta
+        elif len(value) != len(old):
+            delta = len(value) - len(old)
+            if delta > 0:
+                self.tracker.allocate(delta, self.tag)
+            else:
+                self.tracker.free(-delta, self.tag)
+            self.accounted_bytes += delta
+        self._data[key] = value
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Non-destructive iteration in insertion order."""
+        return iter(self._data.items())
+
+    def drain(self) -> Iterator[tuple[bytes, bytes]]:
+        """Destructive iteration, releasing accounting entry-by-entry.
+
+        Mirrors how Mimir reclaims bucket memory while flushing
+        compressed KVs into the send buffer.
+        """
+        while self._data:
+            key, value = next(iter(self._data.items()))
+            del self._data[key]
+            delta = len(key) + len(value) + self.entry_overhead
+            self.tracker.free(delta, self.tag)
+            self.accounted_bytes -= delta
+            yield key, value
+
+    def free(self) -> None:
+        """Drop all entries and release the accounting."""
+        if self.accounted_bytes:
+            self.tracker.free(self.accounted_bytes, self.tag)
+        self.accounted_bytes = 0
+        self._data.clear()
+
+
+class CountingBucket:
+    """Per-unique-key counters for convert pass one.
+
+    Stores ``key -> (count, total_value_bytes)`` and charges the
+    tracker for the key bytes plus fixed per-entry bookkeeping.
+    """
+
+    def __init__(self, tracker: MemoryTracker, entry_overhead: int = 48,
+                 tag: str = "convert_bucket"):
+        self.tracker = tracker
+        self.entry_overhead = entry_overhead + 16  # two u64 counters
+        self.tag = tag
+        self._data: dict[bytes, list[int]] = {}
+        self.accounted_bytes = 0
+
+    def add(self, key: bytes, value_bytes: int) -> None:
+        entry = self._data.get(key)
+        if entry is None:
+            delta = len(key) + self.entry_overhead
+            self.tracker.allocate(delta, self.tag)
+            self.accounted_bytes += delta
+            self._data[key] = [1, value_bytes]
+        else:
+            entry[0] += 1
+            entry[1] += value_bytes
+
+    def items(self) -> Iterator[tuple[bytes, list[int]]]:
+        return iter(self._data.items())
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def free(self) -> None:
+        if self.accounted_bytes:
+            self.tracker.free(self.accounted_bytes, self.tag)
+        self.accounted_bytes = 0
+        self._data.clear()

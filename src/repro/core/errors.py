@@ -1,0 +1,27 @@
+"""Errors raised by the Mimir core."""
+
+from __future__ import annotations
+
+
+class MimirError(RuntimeError):
+    """Base class for Mimir failures."""
+
+
+class RecordTooLargeError(MimirError):
+    """A single encoded record exceeds the buffer it must fit in.
+
+    Records never straddle page or partition boundaries, so one record
+    larger than a page (or a send-buffer partition) cannot be stored.
+    """
+
+    def __init__(self, record_size: int, capacity: int, where: str):
+        self.record_size = record_size
+        self.capacity = capacity
+        self.where = where
+        super().__init__(
+            f"record of {record_size} bytes does not fit in {where} "
+            f"of {capacity} bytes")
+
+
+class ConfigError(MimirError):
+    """Invalid or inconsistent Mimir configuration."""

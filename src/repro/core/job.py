@@ -1,0 +1,355 @@
+"""The Mimir job driver: user-facing map / reduce entry points.
+
+A :class:`Mimir` instance is bound to one rank's :class:`RankEnv`.
+Map calls run the user callback over this rank's share of the input
+and perform the *implicit* aggregate (interleaved exchange rounds);
+``reduce`` performs the *implicit* convert followed by the user reduce
+callback; ``partial_reduce`` replaces both when the operation is
+commutative/associative.  Passing ``combine_fn`` to any map call
+enables KV compression.
+
+Input sources (paper Section III-A): files on the PFS (text or binary),
+KVs from a previous MapReduce operation (``map_kvs``, for multistage
+and iterative jobs), and arbitrary in-memory items (``map_items``, for
+in-situ sources).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.cluster import RankEnv
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.core.metrics import PhaseProfile
+from repro.core.combiner import CombineFn, Combiner
+from repro.core.config import MimirConfig
+from repro.core.convert import iter_grouped
+from repro.core.kvcontainer import KVContainer
+from repro.core.partial_reduction import PartialReduceFn, partial_reduce
+from repro.core.records import KVLayout
+from repro.core.shuffle import Shuffler
+from repro.io.readers import (
+    iter_binary_chunks,
+    iter_binary_chunks_multi,
+    iter_text_chunks,
+    iter_text_chunks_multi,
+)
+
+
+class MapContext:
+    """Handed to map callbacks; ``emit`` routes into the shuffle."""
+
+    __slots__ = ("_sink", "nemitted")
+
+    def __init__(self, sink):
+        self._sink = sink
+        self.nemitted = 0
+
+    def emit(self, key: bytes, value: bytes) -> None:
+        self._sink.emit(key, value)
+        self.nemitted += 1
+
+
+class ReduceContext:
+    """Handed to reduce callbacks; ``emit`` appends to the local output."""
+
+    __slots__ = ("_out", "nemitted")
+
+    def __init__(self, out: KVContainer):
+        self._out = out
+        self.nemitted = 0
+
+    def emit(self, key: bytes, value: bytes) -> None:
+        self._out.add(key, value)
+        self.nemitted += 1
+
+
+class Mimir:
+    """MapReduce driver for one rank of a simulated job."""
+
+    def __init__(self, env: RankEnv, config: MimirConfig | None = None, *,
+                 profile: "PhaseProfile | None" = None, trace=None):
+        self.env = env
+        self.config = config or MimirConfig()
+        #: Optional per-phase profiler (see :mod:`repro.core.metrics`).
+        self.profile = profile
+        #: Optional structured event sink (see :mod:`repro.tools.trace`).
+        self.trace = trace
+        #: Statistics of the most recent map/aggregate phase:
+        #: ``{"records", "kv_bytes", "rounds"}``.  ``kv_bytes`` is the
+        #: total encoded KV volume that crossed the wire - the metric
+        #: of the paper's Figure 7.
+        self.last_map_stats: dict[str, int] = {}
+
+    # ----------------------------------------------------------- plumbing
+
+    def _run_map(self, feed: Callable[[MapContext], None], *,
+                 combine_fn: CombineFn | None,
+                 partitioner: Callable[[bytes, int], int] | None,
+                 layout: KVLayout | None,
+                 out_tag: str) -> KVContainer:
+        """Shared skeleton: feed records through (combiner ->) shuffler."""
+        out = KVContainer(
+            self.env.tracker, layout or self.config.layout,
+            self.config.page_size, tag=out_tag,
+            spill_env=self.env if self.config.out_of_core else None)
+        span = self.profile.phase("map+aggregate") if self.profile \
+            else nullcontext()
+        if self.trace is not None:
+            self.trace.emit(self.env, "phase", "map+aggregate:start")
+        with span:
+            shuffler = Shuffler(self.env, self.config, out, partitioner,
+                                trace=self.trace)
+            if combine_fn is not None:
+                combiner = Combiner(self.env, self.config, combine_fn,
+                                    shuffler)
+                ctx = MapContext(combiner)
+                feed(ctx)
+                combiner.finish()
+            else:
+                ctx = MapContext(shuffler)
+                feed(ctx)
+                shuffler.finish()
+            self.env.charge_compute(shuffler.bytes_sent)
+        self.last_map_stats = {
+            "records": shuffler.records_sent,
+            "kv_bytes": shuffler.bytes_sent,
+            "rounds": shuffler.rounds,
+        }
+        if self.trace is not None:
+            self.trace.emit(self.env, "phase", "map+aggregate:end",
+                            **self.last_map_stats)
+        return out
+
+    # -------------------------------------------------------- map sources
+
+    def map_text_file(self, path: str,
+                      map_fn: Callable[[MapContext, bytes], None], *,
+                      combine_fn: CombineFn | None = None,
+                      partitioner: Callable[[bytes, int], int] | None = None,
+                      layout: KVLayout | None = None,
+                      out_tag: str = "kv_shuffled") -> KVContainer:
+        """Map over this rank's word-aligned split of a PFS text file.
+
+        ``map_fn`` is called once per chunk (roughly
+        ``config.input_chunk_size`` bytes, never splitting a word).
+        """
+
+        def feed(ctx: MapContext) -> None:
+            for chunk in iter_text_chunks(self.env, path,
+                                          self.config.input_chunk_size):
+                map_fn(ctx, chunk)
+
+        return self._run_map(feed, combine_fn=combine_fn,
+                             partitioner=partitioner, layout=layout,
+                             out_tag=out_tag)
+
+    def map_binary_file(self, path: str, record_size: int,
+                        map_fn: Callable[[MapContext, bytes], None], *,
+                        combine_fn: CombineFn | None = None,
+                        partitioner: Callable[[bytes, int], int] | None = None,
+                        layout: KVLayout | None = None,
+                        out_tag: str = "kv_shuffled") -> KVContainer:
+        """Map over this rank's block-aligned split of a binary PFS file.
+
+        ``map_fn`` receives chunks whose length is a multiple of
+        ``record_size``.
+        """
+
+        def feed(ctx: MapContext) -> None:
+            for chunk in iter_binary_chunks(self.env, path, record_size,
+                                            self.config.input_chunk_size):
+                map_fn(ctx, chunk)
+
+        return self._run_map(feed, combine_fn=combine_fn,
+                             partitioner=partitioner, layout=layout,
+                             out_tag=out_tag)
+
+    def map_text_files(self, paths: "str | list[str]",
+                       map_fn: Callable[[MapContext, bytes], None], *,
+                       combine_fn: CombineFn | None = None,
+                       partitioner: Callable[[bytes, int], int] | None = None,
+                       layout: KVLayout | None = None,
+                       out_tag: str = "kv_shuffled") -> KVContainer:
+        """Map over a multi-file text input (directory prefix or list).
+
+        Whole files are assigned round-robin to ranks; a trailing ``/``
+        expands to every file under that prefix.
+        """
+
+        def feed(ctx: MapContext) -> None:
+            for chunk in iter_text_chunks_multi(
+                    self.env, paths, self.config.input_chunk_size):
+                map_fn(ctx, chunk)
+
+        return self._run_map(feed, combine_fn=combine_fn,
+                             partitioner=partitioner, layout=layout,
+                             out_tag=out_tag)
+
+    def map_binary_files(self, paths: "str | list[str]", record_size: int,
+                         map_fn: Callable[[MapContext, bytes], None], *,
+                         combine_fn: CombineFn | None = None,
+                         partitioner: Callable[[bytes, int], int] | None = None,
+                         layout: KVLayout | None = None,
+                         out_tag: str = "kv_shuffled") -> KVContainer:
+        """Map over a multi-file binary input (directory prefix or list)."""
+
+        def feed(ctx: MapContext) -> None:
+            for chunk in iter_binary_chunks_multi(
+                    self.env, paths, record_size,
+                    self.config.input_chunk_size):
+                map_fn(ctx, chunk)
+
+        return self._run_map(feed, combine_fn=combine_fn,
+                             partitioner=partitioner, layout=layout,
+                             out_tag=out_tag)
+
+    def map_items(self, items: Iterable[Any],
+                  map_fn: Callable[[MapContext, Any], None], *,
+                  combine_fn: CombineFn | None = None,
+                  partitioner: Callable[[bytes, int], int] | None = None,
+                  layout: KVLayout | None = None,
+                  out_tag: str = "kv_shuffled") -> KVContainer:
+        """Map over an in-memory iterable (in-situ data source)."""
+
+        def feed(ctx: MapContext) -> None:
+            for item in items:
+                map_fn(ctx, item)
+
+        return self._run_map(feed, combine_fn=combine_fn,
+                             partitioner=partitioner, layout=layout,
+                             out_tag=out_tag)
+
+    def map_kvs(self, kvc: KVContainer,
+                map_fn: Callable[[MapContext, bytes, bytes], None], *,
+                combine_fn: CombineFn | None = None,
+                partitioner: Callable[[bytes, int], int] | None = None,
+                layout: KVLayout | None = None,
+                out_tag: str = "kv_shuffled") -> KVContainer:
+        """Map over a previous operation's KVs (consumed as it drains)."""
+
+        def feed(ctx: MapContext) -> None:
+            for key, value in kvc.consume():
+                map_fn(ctx, key, value)
+
+        return self._run_map(feed, combine_fn=combine_fn,
+                             partitioner=partitioner, layout=layout,
+                             out_tag=out_tag)
+
+    # ------------------------------------------------------------- reduce
+
+    def reduce(self, kvc: KVContainer,
+               reduce_fn: Callable[[ReduceContext, bytes, list[bytes]], None],
+               *, out_layout: KVLayout | None = None,
+               out_tag: str = "kv_out") -> KVContainer:
+        """Implicit convert (two-pass) followed by the user reduce.
+
+        Consumes ``kvc``.  The reduce output stays rank-local; a global
+        barrier separates the map and reduce sides, as the MapReduce
+        model requires.
+        """
+        self.env.comm.barrier()
+        span = self.profile.phase("convert+reduce") if self.profile \
+            else nullcontext()
+        with span:
+            out = KVContainer(
+                self.env.tracker, out_layout or KVLayout(),
+                self.config.page_size, tag=out_tag,
+                spill_env=self.env if self.config.out_of_core else None)
+            ctx = ReduceContext(out)
+            reduced_bytes = 0
+            for key, values in iter_grouped(self.env, kvc, self.config):
+                reduce_fn(ctx, key, values)
+                reduced_bytes += len(key) + sum(len(v) for v in values)
+            self.env.charge_compute(reduced_bytes)
+        return out
+
+    def partial_reduce(self, kvc: KVContainer, pr_fn: PartialReduceFn, *,
+                       out_layout: KVLayout | None = None,
+                       out_tag: str = "kv_out") -> KVContainer:
+        """Streaming replacement for convert+reduce (needs invariance)."""
+        self.env.comm.barrier()
+        span = self.profile.phase("partial_reduce") if self.profile \
+            else nullcontext()
+        with span:
+            return partial_reduce(self.env, kvc, pr_fn, self.config,
+                                  out_layout, out_tag)
+
+    # ------------------------------------------------------ conveniences
+
+    def sort_local(self, kvc: KVContainer, *, by_value: bool = False,
+                   out_tag: str = "kv_sorted") -> KVContainer:
+        """Sort a rank-local KVC by key (or value); consumes the input.
+
+        Rank-local, like MR-MPI's ``sort_keys``: the global order is
+        the concatenation of per-rank sorted runs.
+        """
+        records = sorted(kvc.consume(),
+                         key=(lambda kv: kv[1]) if by_value
+                         else (lambda kv: kv[0]))
+        out = KVContainer(self.env.tracker, kvc.layout,
+                          self.config.page_size, tag=out_tag)
+        for key, value in records:
+            out.add(key, value)
+        self.env.charge_compute(out.nbytes)
+        return out
+
+    def global_sort(self, kvc: KVContainer, *, by_value: bool = False,
+                    out_tag: str = "kv_gsorted") -> KVContainer:
+        """Total order across ranks via sample sort (consumes input).
+
+        After this call, every record on rank ``r`` sorts at or before
+        every record on rank ``r+1``, and each rank is locally sorted.
+        """
+        from repro.core.sort import global_sort
+
+        return global_sort(self.env, kvc, self.config, by_value=by_value,
+                           out_tag=out_tag)
+
+    def gather(self, kvc: KVContainer, nranks: int = 1,
+               out_tag: str = "kv_gathered") -> KVContainer:
+        """Move all KVs onto the lowest ``nranks`` ranks (consumes input)."""
+        if not 1 <= nranks <= self.env.comm.size:
+            raise ValueError(
+                f"nranks must be in 1..{self.env.comm.size}, got {nranks}")
+        from repro.core.shuffle import default_partitioner
+
+        return self.map_kvs(
+            kvc, lambda ctx, k, v: ctx.emit(k, v),
+            partitioner=lambda key, p: default_partitioner(key, nranks),
+            layout=kvc.layout, out_tag=out_tag)
+
+    # -------------------------------------------------------------- sinks
+
+    def write_output(self, kvc: KVContainer, path: str,
+                     render: Callable[[bytes, bytes], bytes] | None = None,
+                     ) -> None:
+        """Persist a rank's output KVs to ``<path>.<rank>`` on the PFS."""
+        if render is None:
+            render = lambda k, v: k + b"\t" + v + b"\n"  # noqa: E731
+        payload = b"".join(render(k, v) for k, v in kvc.records())
+        self.env.pfs.write(self.env.comm, f"{path}.{self.env.comm.rank}",
+                           payload)
+
+    def write_output_global(self, kvc: KVContainer, path: str,
+                            render: Callable[[bytes, bytes], bytes] | None
+                            = None) -> None:
+        """Persist all ranks' outputs to ONE shared PFS file.
+
+        Collective: rank offsets come from an exclusive prefix sum of
+        the rendered sizes (MPI-IO style), so the file's contents are
+        rank 0's records, then rank 1's, and so on - combined with
+        :meth:`global_sort` this produces one globally sorted file.
+        """
+        if render is None:
+            render = lambda k, v: k + b"\t" + v + b"\n"  # noqa: E731
+        payload = b"".join(render(k, v) for k, v in kvc.records())
+        offset = self.env.comm.exscan(len(payload))
+        self.env.pfs.write_at(self.env.comm, path, offset, payload)
+        self.env.comm.barrier()  # file complete once anyone returns
+
+    def collect(self, kvc: KVContainer) -> list[tuple[bytes, bytes]]:
+        """This rank's records as a list (small results / tests)."""
+        return list(kvc.records())

@@ -1,0 +1,227 @@
+"""The KMV container (KMVC): grouped ``<key, [values...]>`` records.
+
+Functionally identical to the KVC but for merged records.  Supports the
+two-pass conversion algorithm of the paper: pass one *reserves* an
+exactly sized slot per unique key (sizes gathered in a hash bucket),
+pass two *fills* values into their slots as the source KVC is consumed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.records import CSTRING, VARIABLE, KVLayout
+from repro.memory.pages import Page, PagePool
+from repro.memory.tracker import MemoryTracker
+
+_U32 = struct.Struct("<I")
+
+
+def encode_kmv_record(layout: KVLayout, key: bytes,
+                      values: list[bytes]) -> bytes:
+    """Encode one complete KMV record (used by the MR-MPI baseline).
+
+    Layout: key field (per ``layout.key_len``), u32 value count, then
+    each value (per ``layout.val_len``).
+    """
+    parts = []
+    if layout.key_len is VARIABLE:
+        parts.append(_U32.pack(len(key)))
+    parts.append(key)
+    if layout.key_len == CSTRING:
+        parts.append(b"\0")
+    parts.append(_U32.pack(len(values)))
+    for value in values:
+        if layout.val_len is VARIABLE:
+            parts.append(_U32.pack(len(value)))
+        parts.append(value)
+        if layout.val_len == CSTRING:
+            parts.append(b"\0")
+    return b"".join(parts)
+
+
+def iter_kmv_buffer(layout: KVLayout,
+                    buf: bytes) -> Iterator[tuple[bytes, list[bytes]]]:
+    """Decode a packed run of KMV records."""
+    offset = 0
+    end = len(buf)
+    while offset < end:
+        key, offset = layout._decode_field(layout.key_len, buf, offset)
+        (nvalues,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        values = []
+        for _ in range(nvalues):
+            value, offset = layout._decode_field(layout.val_len, buf, offset)
+            values.append(value)
+        yield key, values
+
+
+@dataclass
+class _Slot:
+    """Fill cursor for one reserved KMV record."""
+
+    page: Page
+    cursor: int
+    remaining: int
+
+
+class KMVContainer:
+    """Key-multivalue records in pool pages, built by reserve/fill."""
+
+    def __init__(self, tracker: MemoryTracker, layout: KVLayout | None = None,
+                 page_size: int = 64 * 1024, tag: str = "kmvc"):
+        self.layout = layout or KVLayout()
+        self.pool = PagePool(tracker, page_size, tag=tag)
+        self.pages: list[Page] = []
+        #: Charged capacity per page: page_size for pool pages, a
+        #: multiple of it for jumbo pages holding one oversized KMV.
+        self._charges: dict[int, int] = {}
+        self.nrecords = 0
+        self.nbytes = 0
+        self.tag = tag
+        self._slots: list[_Slot] = []
+
+    # ------------------------------------------------------------- sizing
+
+    def _value_extra(self) -> int:
+        """Per-value encoding overhead beyond the raw bytes."""
+        if self.layout.val_len is VARIABLE:
+            return 4
+        if self.layout.val_len == CSTRING:
+            return 1
+        return 0
+
+    def record_size(self, key: bytes, nvalues: int,
+                    total_value_bytes: int) -> int:
+        """Exact encoded size of a KMV record."""
+        key_part = self.layout.field_size(self.layout.key_len, key)
+        return key_part + 4 + total_value_bytes + nvalues * self._value_extra()
+
+    # ------------------------------------------------------------ reserve
+
+    def reserve(self, key: bytes, nvalues: int,
+                total_value_bytes: int) -> int:
+        """Reserve a slot for one unique key; returns the slot id.
+
+        The key and the value count are written immediately; values are
+        filled later with :meth:`append_value` in any interleaving.
+        """
+        if nvalues <= 0:
+            raise ValueError(f"nvalues must be positive, got {nvalues}")
+        size = self.record_size(key, nvalues, total_value_bytes)
+        if size > self.pool.page_size:
+            # A single KMV larger than one page (heavy skew: one very
+            # frequent key).  Allocate a dedicated "jumbo" buffer in
+            # whole page units - buffers are always fixed-size multiples
+            # to stay fragmentation-safe.
+            unit = self.pool.page_size
+            charged = ((size + unit - 1) // unit) * unit
+            self.pool.tracker.allocate(charged, self.tag)
+            page = Page(charged, self.tag)
+            self.pages.append(page)
+            self._charges[id(page)] = charged
+        elif not self.pages or self.pages[-1].remaining < size:
+            self.pages.append(self.pool.acquire())
+        page = self.pages[-1]
+        cursor = page.used
+        page.used += size  # pre-claim the whole record
+
+        # Write the key part and the value count header.
+        if self.layout.key_len is VARIABLE:
+            page.data[cursor : cursor + 4] = _U32.pack(len(key))
+            cursor += 4
+        page.data[cursor : cursor + len(key)] = key
+        cursor += len(key)
+        if self.layout.key_len == CSTRING:
+            page.data[cursor] = 0
+            cursor += 1
+        page.data[cursor : cursor + 4] = _U32.pack(nvalues)
+        cursor += 4
+
+        self._slots.append(_Slot(page, cursor, nvalues))
+        self.nrecords += 1
+        self.nbytes += size
+        return len(self._slots) - 1
+
+    def append_value(self, slot_id: int, value: bytes) -> None:
+        """Fill the next value of a reserved record."""
+        slot = self._slots[slot_id]
+        if slot.remaining <= 0:
+            raise ValueError(f"slot {slot_id} already holds all its values")
+        page, cursor = slot.page, slot.cursor
+        hint = self.layout.val_len
+        if hint is VARIABLE:
+            page.data[cursor : cursor + 4] = _U32.pack(len(value))
+            cursor += 4
+        elif hint == CSTRING:
+            if b"\0" in value:
+                raise ValueError("NUL byte in NUL-terminated value")
+        elif len(value) != hint:
+            raise ValueError(
+                f"value is {len(value)} bytes, layout fixes {hint}")
+        page.data[cursor : cursor + len(value)] = value
+        cursor += len(value)
+        if hint == CSTRING:
+            page.data[cursor] = 0
+            cursor += 1
+        slot.cursor = cursor
+        slot.remaining -= 1
+
+    def finish_fill(self) -> None:
+        """Assert every reserved slot was completely filled."""
+        unfilled = sum(1 for s in self._slots if s.remaining)
+        if unfilled:
+            raise ValueError(f"{unfilled} KMV slot(s) not completely filled")
+        self._slots.clear()
+
+    # ------------------------------------------------------------ iterate
+
+    def _iter_page(self, page: Page) -> Iterator[tuple[bytes, list[bytes]]]:
+        yield from iter_kmv_buffer(self.layout, bytes(page.view))
+
+    def records(self) -> Iterator[tuple[bytes, list[bytes]]]:
+        """Non-destructive iteration over ``(key, values)``."""
+        for page in self.pages:
+            yield from self._iter_page(page)
+
+    def consume(self) -> Iterator[tuple[bytes, list[bytes]]]:
+        """Destructive iteration freeing pages as they are read."""
+        while self.pages:
+            page = self.pages.pop(0)
+            try:
+                yield from self._iter_page(page)
+            finally:
+                self._release_page(page)
+        self.nrecords = 0
+        self.nbytes = 0
+
+    # ------------------------------------------------------------- manage
+
+    def _release_page(self, page: Page) -> None:
+        charged = self._charges.pop(id(page), None)
+        if charged is None:
+            self.pool.release(page)
+        else:
+            self.pool.tracker.free(charged, self.tag)
+
+    def free(self) -> None:
+        while self.pages:
+            self._release_page(self.pages.pop())
+        self.nrecords = 0
+        self.nbytes = 0
+        self._slots.clear()
+
+    @property
+    def memory_bytes(self) -> int:
+        jumbo = sum(self._charges.values())
+        normal = (len(self.pages) - len(self._charges)) * self.pool.page_size
+        return normal + jumbo
+
+    @property
+    def npages(self) -> int:
+        return len(self.pages)
+
+    def __len__(self) -> int:
+        return self.nrecords

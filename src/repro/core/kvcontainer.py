@@ -1,0 +1,192 @@
+"""The KV container (KVC): Mimir's dynamically sized KV store.
+
+A KVC manages a collection of KV records across one or more fixed-size
+pages (paper Section III).  Unlike MR-MPI's statically allocated page
+set, a KVC grows page-by-page as records are inserted and *frees pages
+as they are consumed*, which is the central memory-efficiency mechanism
+of the design.
+
+Optionally a KVC can be *spill-backed* (the out-of-core capability the
+paper's authors added after publication): given a spill sink, a
+container that cannot acquire another page within its rank's memory
+budget writes its oldest full pages to the parallel file system and
+keeps going.  Record order is preserved (spilled prefix, resident
+suffix) and readers stream the spilled chunks back at PFS cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.errors import RecordTooLargeError
+from repro.core.records import KVLayout
+from repro.memory.pages import Page, PagePool
+from repro.memory.tracker import MemoryTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster import RankEnv
+
+
+class KVContainer:
+    """An ordered multiset of KV records stored in pool pages."""
+
+    #: Class-level counter so spill files of unnamed containers differ.
+    _spill_seq = 0
+
+    def __init__(self, tracker: MemoryTracker, layout: KVLayout | None = None,
+                 page_size: int = 64 * 1024, tag: str = "kvc", *,
+                 spill_env: "RankEnv | None" = None,
+                 resident_page_budget: int | None = None):
+        self.layout = layout or KVLayout()
+        self.pool = PagePool(tracker, page_size, tag=tag)
+        self.pages: list[Page] = []
+        self.nrecords = 0
+        self.nbytes = 0  # payload bytes (not page capacity)
+        self.tag = tag
+        self._spill_env = spill_env
+        self._resident_budget = resident_page_budget
+        self._spill_writer = None
+
+    # ------------------------------------------------------------- insert
+
+    def _tail_page(self, needed: int) -> Page:
+        if needed > self.pool.page_size:
+            raise RecordTooLargeError(needed, self.pool.page_size,
+                                      f"KVC page ({self.tag})")
+        if not self.pages or self.pages[-1].remaining < needed:
+            if self._spill_env is not None:
+                self._make_room()
+            self.pages.append(self.pool.acquire())
+        return self.pages[-1]
+
+    # -------------------------------------------------------- out-of-core
+
+    def _make_room(self) -> None:
+        """Spill oldest pages until one more page fits the budget."""
+        over_budget = (self._resident_budget is not None and
+                       len(self.pages) >= self._resident_budget)
+        while self.pages and (over_budget or not self.pool.would_fit()):
+            self._spill_front_page()
+            over_budget = (self._resident_budget is not None and
+                           len(self.pages) >= self._resident_budget)
+
+    def _spill_front_page(self) -> None:
+        from repro.io.spill import SpillWriter
+
+        env = self._spill_env
+        assert env is not None
+        if self._spill_writer is None:
+            KVContainer._spill_seq += 1
+            self._spill_writer = SpillWriter(
+                env.pfs, env.comm, f"kvc_{self.tag}_{KVContainer._spill_seq}")
+        page = self.pages.pop(0)
+        self._spill_writer.write_chunk(page.view)
+        self.pool.release(page)
+
+    @property
+    def spilled(self) -> bool:
+        return self._spill_writer is not None and \
+            self._spill_writer.nchunks > 0
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self._spill_writer.total_bytes if self._spill_writer else 0
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Encode and append one record."""
+        record = self.layout.encode(key, value)
+        self.add_record_bytes(record)
+
+    def add_record_bytes(self, record: bytes) -> None:
+        """Append one pre-encoded record."""
+        page = self._tail_page(len(record))
+        page.write(record)
+        self.nrecords += 1
+        self.nbytes += len(record)
+
+    def extend_encoded(self, buf: bytes | memoryview) -> int:
+        """Append a packed run of records (e.g. one received shuffle part).
+
+        Records are re-split at page boundaries, so a record never
+        straddles two pages.  Returns the number of records added.
+        """
+        if isinstance(buf, memoryview):
+            buf = bytes(buf)
+        added = 0
+        offset = 0
+        end = len(buf)
+        layout = self.layout
+        while offset < end:
+            _key, _value, next_offset = layout.decode(buf, offset)
+            self.add_record_bytes(buf[offset:next_offset])
+            offset = next_offset
+            added += 1
+        return added
+
+    # ------------------------------------------------------------ iterate
+
+    def records(self) -> Iterator[tuple[bytes, bytes]]:
+        """Non-destructive iteration over all records.
+
+        Spilled pages (oldest data) stream back first at PFS read cost,
+        preserving insertion order.
+        """
+        if self._spill_writer is not None:
+            for chunk in self._spill_writer.reader():
+                yield from self.layout.iter_records(chunk)
+        for page in self.pages:
+            yield from self.layout.iter_records(page.view)
+
+    def consume(self) -> Iterator[tuple[bytes, bytes]]:
+        """Destructive iteration: each page is freed once fully read.
+
+        This is what lets Mimir's convert/reduce pipeline shrink the KV
+        footprint while the KMV footprint grows, instead of holding
+        both in full.
+        """
+        if self._spill_writer is not None:
+            reader = self._spill_writer.reader()
+            try:
+                for chunk in reader:
+                    yield from self.layout.iter_records(chunk)
+            finally:
+                self._spill_writer.discard()
+                self._spill_writer = None
+        while self.pages:
+            page = self.pages.pop(0)
+            try:
+                yield from self.layout.iter_records(page.view)
+            finally:
+                consumed_bytes = page.used
+                self.pool.release(page)
+                self.nbytes -= consumed_bytes
+        self.nrecords = 0
+        self.nbytes = 0
+
+    # ------------------------------------------------------------- manage
+
+    def free(self) -> None:
+        """Release every page and any spill file."""
+        while self.pages:
+            self.pool.release(self.pages.pop())
+        if self._spill_writer is not None:
+            self._spill_writer.discard()
+            self._spill_writer = None
+        self.nrecords = 0
+        self.nbytes = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of page capacity currently held."""
+        return len(self.pages) * self.pool.page_size
+
+    @property
+    def npages(self) -> int:
+        return len(self.pages)
+
+    def __len__(self) -> int:
+        return self.nrecords
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"KVContainer(nrecords={self.nrecords}, nbytes={self.nbytes}, "
+                f"pages={len(self.pages)}x{self.pool.page_size})")

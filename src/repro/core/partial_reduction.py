@@ -1,0 +1,48 @@
+"""Partial reduction (paper Section III-C1, Figure 6).
+
+For reduce operations with "partial-reduce invariance" (commutative and
+associative merging, e.g. WordCount's sum), the convert and reduce
+phases are replaced by a single streaming pass: KVs are scanned out of
+the post-shuffle KVC (destructively - pages free as they drain) and
+hashed into a bucket of unique KVs; on a duplicate key the user
+callback folds the incoming value into the bucketed one.  No KMV is
+ever materialised, so the memory high-water mark is the unique-key set
+instead of the full grouped dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster import RankEnv
+from repro.core.bucket import AccountedBucket
+from repro.core.config import MimirConfig
+from repro.core.kvcontainer import KVContainer
+from repro.core.records import KVLayout
+
+#: ``pr_fn(key, value_a, value_b) -> value`` - same contract as a
+#: combine callback: fold two values of one key into one.
+PartialReduceFn = Callable[[bytes, bytes, bytes], bytes]
+
+
+def partial_reduce(env: RankEnv, kvc: KVContainer, pr_fn: PartialReduceFn,
+                   config: MimirConfig, out_layout: KVLayout | None = None,
+                   out_tag: str = "kv_out") -> KVContainer:
+    """Fold ``kvc`` (consumed) into one KV per unique key."""
+    bucket = AccountedBucket(env.tracker, config.bucket_entry_overhead,
+                             tag="pr_bucket")
+    scanned = 0
+    for key, value in kvc.consume():
+        scanned += len(key) + len(value)
+        existing = bucket.get(key)
+        if existing is None:
+            bucket.set(key, value)
+        else:
+            bucket.set(key, pr_fn(key, existing, value))
+
+    out = KVContainer(env.tracker, out_layout or kvc.layout,
+                      config.page_size, tag=out_tag)
+    for key, value in bucket.drain():
+        out.add(key, value)
+    env.charge_compute(scanned + out.nbytes)
+    return out

@@ -1,0 +1,210 @@
+"""KV record encoding, including the paper's KV-hint layouts.
+
+The general layout stores every key and value as a variable-length byte
+sequence behind an 8-byte header (two little-endian u32 lengths).  The
+KV-hint optimization (paper Section III-C3) lets the application declare
+that the key and/or value length is constant for the whole job, or that
+it is a NUL-terminated string (``CSTRING``, the paper's special value
+-1): in both cases the corresponding 4-byte length header is omitted,
+saving ~26 % of KV bytes for WordCount-like workloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Length hint: the field is variable-length and carries a u32 header.
+VARIABLE = None
+#: Length hint: the field is a NUL-terminated byte string (no header,
+#: one trailing NUL byte).  The paper reserves -1 for this.
+CSTRING = -1
+
+_U32 = struct.Struct("<I")
+_U32x2 = struct.Struct("<II")
+_U64 = struct.Struct("<Q")
+
+
+def pack_u64(value: int) -> bytes:
+    """Encode an integer value the way the benchmarks store counts."""
+    return _U64.pack(value)
+
+
+def unpack_u64(data: bytes | memoryview) -> int:
+    return _U64.unpack(bytes(data[:8]))[0]
+
+
+def _check_hint(hint: int | None, name: str) -> None:
+    if hint is None or hint == CSTRING:
+        return
+    if not isinstance(hint, int) or isinstance(hint, bool) or hint <= 0:
+        raise ValueError(
+            f"{name} hint must be VARIABLE (None), CSTRING (-1), or a "
+            f"positive length, got {hint!r}")
+
+
+@dataclass(frozen=True)
+class KVLayout:
+    """Encoding rules for one KV stream.
+
+    ``key_len`` / ``val_len``: ``VARIABLE`` (u32 header), ``CSTRING``
+    (NUL-terminated, no header), or a positive fixed byte length (no
+    header).
+    """
+
+    key_len: int | None = VARIABLE
+    val_len: int | None = VARIABLE
+
+    def __post_init__(self):
+        _check_hint(self.key_len, "key_len")
+        _check_hint(self.val_len, "val_len")
+
+    # ------------------------------------------------------------- sizing
+
+    @property
+    def header_size(self) -> int:
+        """Bytes of length headers per record under this layout."""
+        return (4 if self.key_len is VARIABLE else 0) + \
+               (4 if self.val_len is VARIABLE else 0)
+
+    def field_size(self, hint: int | None, data: bytes) -> int:
+        if hint is VARIABLE:
+            return 4 + len(data)
+        if hint == CSTRING:
+            return len(data) + 1
+        return hint
+
+    def encoded_size(self, key: bytes, value: bytes) -> int:
+        """Exact encoded byte count of one record."""
+        return self.field_size(self.key_len, key) + \
+            self.field_size(self.val_len, value)
+
+    # ----------------------------------------------------------- encoding
+
+    def _check_field(self, hint: int | None, data: bytes, name: str) -> None:
+        if hint == CSTRING:
+            if b"\0" in data:
+                raise ValueError(
+                    f"{name} contains a NUL byte but the layout declares "
+                    f"it NUL-terminated")
+        elif hint is not VARIABLE and len(data) != hint:
+            raise ValueError(
+                f"{name} is {len(data)} bytes but the layout fixes it at "
+                f"{hint} bytes")
+
+    def encode(self, key: bytes, value: bytes) -> bytes:
+        """Encode one record."""
+        self._check_field(self.key_len, key, "key")
+        self._check_field(self.val_len, value, "value")
+        klen_hdr = self.key_len is VARIABLE
+        vlen_hdr = self.val_len is VARIABLE
+        if klen_hdr and vlen_hdr:
+            return _U32x2.pack(len(key), len(value)) + key + value
+        parts = []
+        if klen_hdr:
+            parts.append(_U32.pack(len(key)))
+        parts.append(key)
+        if self.key_len == CSTRING:
+            parts.append(b"\0")
+        if vlen_hdr:
+            parts.append(_U32.pack(len(value)))
+        parts.append(value)
+        if self.val_len == CSTRING:
+            parts.append(b"\0")
+        return b"".join(parts)
+
+    def encode_into(self, buf: bytearray, offset: int, key: bytes,
+                    value: bytes) -> int:
+        """Encode one record directly at ``buf[offset:]``; returns the
+        new offset.
+
+        The zero-staging-copy path used by the shuffle: the map
+        callback's record materialises straight inside the send-buffer
+        partition, which is the design point the paper's Section III-B
+        makes against MR-MPI's extra copies.  The caller guarantees
+        capacity (``encoded_size`` bytes).
+        """
+        self._check_field(self.key_len, key, "key")
+        self._check_field(self.val_len, value, "value")
+        if self.key_len is VARIABLE and self.val_len is VARIABLE:
+            _U32x2.pack_into(buf, offset, len(key), len(value))
+            offset += 8
+            buf[offset : offset + len(key)] = key
+            offset += len(key)
+            buf[offset : offset + len(value)] = value
+            return offset + len(value)
+        if self.key_len is VARIABLE:
+            _U32.pack_into(buf, offset, len(key))
+            offset += 4
+        buf[offset : offset + len(key)] = key
+        offset += len(key)
+        if self.key_len == CSTRING:
+            buf[offset] = 0
+            offset += 1
+        if self.val_len is VARIABLE:
+            _U32.pack_into(buf, offset, len(value))
+            offset += 4
+        buf[offset : offset + len(value)] = value
+        offset += len(value)
+        if self.val_len == CSTRING:
+            buf[offset] = 0
+            offset += 1
+        return offset
+
+    # ----------------------------------------------------------- decoding
+
+    def _decode_field(self, hint: int | None, buf: bytes,
+                      offset: int) -> tuple[bytes, int]:
+        if hint is VARIABLE:
+            if offset + 4 > len(buf):
+                raise ValueError(f"truncated length header at offset {offset}")
+            (n,) = _U32.unpack_from(buf, offset)
+            start = offset + 4
+            if start + n > len(buf):
+                raise ValueError(f"truncated field at offset {offset}")
+            return bytes(buf[start : start + n]), start + n
+        if hint == CSTRING:
+            end = buf.find(b"\0", offset)
+            if end < 0:
+                raise ValueError(
+                    f"unterminated NUL string at offset {offset}")
+            return bytes(buf[offset:end]), end + 1
+        if offset + hint > len(buf):
+            raise ValueError(f"truncated fixed field at offset {offset}")
+        return bytes(buf[offset : offset + hint]), offset + hint
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[bytes, bytes, int]:
+        """Decode one record; returns ``(key, value, next_offset)``."""
+        if self.key_len is VARIABLE and self.val_len is VARIABLE:
+            # The paper's layout: one 8-byte header (both lengths)
+            # before the actual data.
+            if offset + 8 > len(buf):
+                raise ValueError(f"truncated record header at offset {offset}")
+            klen, vlen = _U32x2.unpack_from(buf, offset)
+            start = offset + 8
+            end = start + klen + vlen
+            if end > len(buf):
+                raise ValueError(f"truncated record at offset {offset}")
+            return (bytes(buf[start : start + klen]),
+                    bytes(buf[start + klen : end]), end)
+        key, offset = self._decode_field(self.key_len, buf, offset)
+        value, offset = self._decode_field(self.val_len, buf, offset)
+        return key, value, offset
+
+    def iter_records(self, buf: bytes | memoryview) -> Iterator[tuple[bytes, bytes]]:
+        """Yield every record of a packed buffer."""
+        if isinstance(buf, memoryview):
+            buf = bytes(buf)
+        offset = 0
+        end = len(buf)
+        while offset < end:
+            key, value, offset = self.decode(buf, offset)
+            yield key, value
+
+    def count_records(self, buf: bytes | memoryview) -> int:
+        return sum(1 for _ in self.iter_records(buf))
+
+
+#: The default layout: both fields variable (8-byte header per record).
+DEFAULT_LAYOUT = KVLayout()

@@ -1,0 +1,138 @@
+"""Interleaved map + aggregate: Mimir's implicit shuffle.
+
+The send buffer is one statically allocated block divided into ``p``
+equal partitions, one per destination rank.  The user-defined map
+callback inserts KVs *directly* into the partition chosen by hashing
+the key - there is no staging copy (paper Section III-B).  When a
+partition fills, the map phase is suspended and all ranks run one
+``MPI_Alltoallv`` round; received records flow into the output KVC and
+the map resumes.  Because each sender contributes at most one partition
+(``comm_buffer_size / p`` bytes) per destination per round, the total
+received per round can never exceed one send buffer - so the receive
+buffer is the same size as the send buffer, never larger (the paper's
+"unexpected side benefit").
+
+Termination: ranks that exhaust their input keep participating in
+exchange rounds with empty partitions; after every round an allreduce
+of done-flags decides whether the aggregate phase is over.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+from repro.cluster import RankEnv
+from repro.core.config import MimirConfig
+from repro.core.errors import RecordTooLargeError
+from repro.core.kvcontainer import KVContainer
+from repro.core.records import KVLayout
+
+
+def default_partitioner(key: bytes, nprocs: int) -> int:
+    """Stable key-to-rank hash (crc32: deterministic across processes)."""
+    return zlib.crc32(key) % nprocs
+
+
+class Shuffler:
+    """One map/aggregate phase's communication state for one rank."""
+
+    def __init__(self, env: RankEnv, config: MimirConfig,
+                 out_kvc: KVContainer,
+                 partitioner: Callable[[bytes, int], int] | None = None,
+                 trace=None):
+        self.env = env
+        self.config = config
+        self.out_kvc = out_kvc
+        self.trace = trace
+        self.layout: KVLayout = out_kvc.layout
+        self.partitioner = partitioner or default_partitioner
+        self.nprocs = env.comm.size
+        self.part_size = config.partition_size(self.nprocs)
+
+        # Statically allocated, equally sized send and receive buffers.
+        env.tracker.allocate(config.comm_buffer_size, "send_buffer")
+        env.tracker.allocate(config.comm_buffer_size, "recv_buffer")
+        self._send = bytearray(config.comm_buffer_size)
+        self._fill = [0] * self.nprocs  # bytes used per partition
+        self.rounds = 0
+        self.records_sent = 0
+        self.bytes_sent = 0
+        self._closed = False
+
+    # -------------------------------------------------------------- emit
+
+    def emit(self, key: bytes, value: bytes) -> None:
+        """Insert one KV directly into its destination partition.
+
+        Zero staging copy: the record is encoded in place inside the
+        send-buffer partition (paper Section III-B).
+        """
+        n = self.layout.encoded_size(key, value)
+        dest = self.partitioner(key, self.nprocs)
+        if n > self.part_size:
+            raise RecordTooLargeError(n, self.part_size,
+                                      "send-buffer partition")
+        if self._fill[dest] + n > self.part_size:
+            self.exchange(done=False)
+        base = dest * self.part_size + self._fill[dest]
+        self.layout.encode_into(self._send, base, key, value)
+        self._fill[dest] += n
+        self.records_sent += 1
+        self.bytes_sent += n
+
+    def emit_record(self, record: bytes, dest: int) -> None:
+        """Insert a pre-encoded record bound for rank ``dest``."""
+        n = len(record)
+        if n > self.part_size:
+            raise RecordTooLargeError(n, self.part_size,
+                                      "send-buffer partition")
+        if self._fill[dest] + n > self.part_size:
+            # Partition full: suspend map, run one aggregate round.
+            self.exchange(done=False)
+        base = dest * self.part_size + self._fill[dest]
+        self._send[base : base + n] = record
+        self._fill[dest] += n
+        self.records_sent += 1
+        self.bytes_sent += n
+
+    # ---------------------------------------------------------- exchange
+
+    def exchange(self, done: bool) -> bool:
+        """One aggregate round; returns True when all ranks are done."""
+        sends = []
+        total = 0
+        for dest in range(self.nprocs):
+            base = dest * self.part_size
+            sends.append(bytes(self._send[base : base + self._fill[dest]]))
+            total += self._fill[dest]
+        received = self.env.comm.alltoallv(sends)
+        self._fill = [0] * self.nprocs
+        self.rounds += 1
+
+        recv_total = 0
+        for part in received:
+            if part:
+                self.out_kvc.extend_encoded(part)
+                recv_total += len(part)
+        # Copying out of the send buffer and into the KVC is local work.
+        self.env.charge_compute(total + recv_total)
+        if self.trace is not None:
+            self.trace.emit(self.env, "exchange",
+                            f"round {self.rounds}",
+                            sent=total, received=recv_total, done=done)
+        return self.env.comm.all_true(done)
+
+    def finish(self) -> None:
+        """Input exhausted: drain and keep joining rounds until all done."""
+        while not self.exchange(done=True):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        """Free the communication buffers."""
+        if not self._closed:
+            self.env.tracker.free(self.config.comm_buffer_size, "send_buffer")
+            self.env.tracker.free(self.config.comm_buffer_size, "recv_buffer")
+            self._send = bytearray(0)
+            self._closed = True

@@ -1,0 +1,103 @@
+"""Global (cross-rank) sample sort for Mimir KV data.
+
+``sort_local`` orders one rank's records; :func:`global_sort` produces
+a total order across ranks: after sorting, every key on rank ``r``
+compares less-than-or-equal to every key on rank ``r+1`` and each
+rank's records are locally sorted.
+
+Classic sample sort over the existing primitives: each rank publishes
+a sample of its keys (allgather), identical splitters are derived
+everywhere, records are shuffled with a range partitioner (one
+bisection per record), and each rank sorts what it received.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.cluster import RankEnv
+from repro.core.config import MimirConfig
+from repro.core.kvcontainer import KVContainer
+from repro.core.shuffle import Shuffler
+
+#: Samples each rank contributes per destination rank.
+DEFAULT_OVERSAMPLE = 8
+
+
+def choose_splitters(samples: list[bytes], nprocs: int) -> list[bytes]:
+    """Derive ``nprocs - 1`` splitters from the pooled key samples."""
+    if nprocs <= 1 or not samples:
+        return []
+    ordered = sorted(samples)
+    splitters = []
+    for i in range(1, nprocs):
+        idx = min(len(ordered) - 1, (i * len(ordered)) // nprocs)
+        splitters.append(ordered[idx])
+    return splitters
+
+
+def range_partitioner(splitters: list[bytes]):
+    """Partitioner sending keys to the rank owning their key range."""
+
+    def partition(key: bytes, nprocs: int) -> int:
+        return min(bisect_right(splitters, key), nprocs - 1)
+
+    return partition
+
+
+def global_sort(env: RankEnv, kvc: KVContainer, config: MimirConfig, *,
+                by_value: bool = False,
+                oversample: int = DEFAULT_OVERSAMPLE,
+                out_tag: str = "kv_gsorted") -> KVContainer:
+    """Globally sort ``kvc`` (consumed) across all ranks.
+
+    Returns this rank's slice of the total order.  Duplicate keys may
+    land on either side of a splitter boundary but the global order is
+    still correct (splitters compare with ``<=``).
+    """
+    comm = env.comm
+    field = (lambda k, v: v) if by_value else (lambda k, v: k)
+
+    # Sample this rank's sort keys at regular strides.
+    local = [field(k, v) for k, v in kvc.records()]
+    want = max(1, comm.size * oversample)
+    stride = max(1, len(local) // want)
+    sample = sorted(local)[::stride][:want] if local else []
+
+    pooled = [key for part in comm.allgather(sample) for key in part]
+    splitters = choose_splitters(pooled, comm.size)
+
+    if by_value:
+        partition_value = range_partitioner(splitters)
+
+        def partitioner(key: bytes, nprocs: int) -> int:
+            # The shuffle hashes keys; for value sorting we wrap the
+            # record so the partitioner sees the value.
+            return partition_value(key, nprocs)
+    else:
+        partitioner = range_partitioner(splitters)
+
+    # Range-shuffle, then order locally.
+    out = KVContainer(env.tracker, kvc.layout, config.page_size,
+                      tag=out_tag)
+    shuffler = Shuffler(env, config, out,
+                        partitioner if not by_value else None)
+    if by_value:
+        # Route by value: emit with an explicit destination.
+        for key, value in kvc.consume():
+            record = kvc.layout.encode(key, value)
+            shuffler.emit_record(record,
+                                 partition_value(value, comm.size))
+    else:
+        for key, value in kvc.consume():
+            shuffler.emit(key, value)
+    shuffler.finish()
+    env.charge_compute(shuffler.bytes_sent)
+
+    records = sorted(out.consume(), key=lambda kv: field(*kv))
+    result = KVContainer(env.tracker, out.layout, config.page_size,
+                         tag=out_tag)
+    for key, value in records:
+        result.add(key, value)
+    env.charge_compute(result.nbytes)
+    return result

@@ -1,0 +1,29 @@
+"""Synthetic dataset generators for the paper's four workload inputs.
+
+- ``words``: uniform random text (the paper's "Uniform" WordCount
+  dataset) and Zipf-skewed variable-length text (standing in for the
+  PUMA Wikipedia dump, whose defining property for the evaluation is
+  heterogeneity of word frequency and length).
+- ``points``: 3-D points, Normal(0.5, 0.5) per axis clipped to the unit
+  cube (the octree-clustering input described in Section IV-A).
+- ``graph500``: Kronecker (R-MAT) edge lists with average degree 32,
+  the Graph500 BFS input.
+
+All generators are deterministic given a seed and vectorised with
+NumPy.
+"""
+
+from repro.datasets.graph500 import EDGE_RECORD_SIZE, edges_to_bytes, kronecker_edges
+from repro.datasets.points import POINT_RECORD_SIZE, normal_points, points_to_bytes
+from repro.datasets.words import uniform_text, zipf_text
+
+__all__ = [
+    "EDGE_RECORD_SIZE",
+    "POINT_RECORD_SIZE",
+    "edges_to_bytes",
+    "kronecker_edges",
+    "normal_points",
+    "points_to_bytes",
+    "uniform_text",
+    "zipf_text",
+]

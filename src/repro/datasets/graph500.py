@@ -1,0 +1,74 @@
+"""Graph500 Kronecker (R-MAT) edge-list generator.
+
+Follows the Graph500 reference generator: ``2**scale`` vertices, edges
+placed by recursively descending a 2x2 probability matrix
+(A, B, C, D) = (0.57, 0.19, 0.19, 0.05), then vertex labels and edge
+order are randomly permuted.  The paper uses an average degree of 32
+(edges/vertices), i.e. edgefactor 32, giving the scale-free degree
+distribution BFS is benchmarked on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per serialised edge: two little-endian uint64 endpoints.
+EDGE_RECORD_SIZE = 16
+
+_DTYPE = np.dtype("<u8")
+
+
+def kronecker_edges(scale: int, edgefactor: int = 32, seed: int = 0, *,
+                    a: float = 0.57, b: float = 0.19,
+                    c: float = 0.19) -> np.ndarray:
+    """Generate an ``(m, 2)`` uint64 edge list, m = edgefactor * 2**scale.
+
+    Self-loops and duplicate edges are possible, exactly as in the
+    reference generator; BFS treats the graph as undirected.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    if edgefactor <= 0:
+        raise ValueError(f"edgefactor must be positive, got {edgefactor}")
+    d = 1.0 - (a + b + c)
+    if d < 0:
+        raise ValueError("probabilities a+b+c must not exceed 1")
+    nverts = 1 << scale
+    nedges = edgefactor * nverts
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(nedges, dtype=_DTYPE)
+    dst = np.zeros(nedges, dtype=_DTYPE)
+    ab = a + b
+    a_norm = a / ab if ab else 0.5
+    c_norm = c / (c + d) if (c + d) else 0.5
+    for bit in range(scale):
+        # Which quadrant of the recursive matrix this bit falls in.
+        ii = rng.random(nedges) > ab                      # row bit
+        jj_prob = np.where(ii, c_norm, a_norm)
+        jj = rng.random(nedges) > jj_prob                 # column bit
+        src |= ii.astype(_DTYPE) << bit
+        dst |= jj.astype(_DTYPE) << bit
+
+    # Permute vertex labels and edge order (Graph500 post-processing).
+    perm = rng.permutation(nverts).astype(_DTYPE)
+    src, dst = perm[src], perm[dst]
+    order = rng.permutation(nedges)
+    return np.stack([src[order], dst[order]], axis=1)
+
+
+def edges_to_bytes(edges: np.ndarray) -> bytes:
+    """Serialise an ``(m, 2)`` uint64 edge list to the binary format."""
+    arr = np.ascontiguousarray(edges, dtype=_DTYPE)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (m, 2) array, got shape {arr.shape}")
+    return arr.tobytes()
+
+
+def bytes_to_edges(data: bytes) -> np.ndarray:
+    """Inverse of :func:`edges_to_bytes`."""
+    if len(data) % EDGE_RECORD_SIZE:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of "
+            f"{EDGE_RECORD_SIZE}")
+    return np.frombuffer(data, dtype=_DTYPE).reshape(-1, 2)

@@ -1,0 +1,49 @@
+"""3-D point clouds for octree clustering.
+
+The paper's OC dataset: ligand-metadata points whose positions follow
+a normal distribution with 0.5 standard deviation; the clustering
+searches for octants denser than 1 % of the total points.  We generate
+exactly that distribution in the unit cube (clipped), serialised as
+float32 triples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per serialised point: three little-endian float32 coordinates.
+POINT_RECORD_SIZE = 12
+
+_DTYPE = np.dtype("<f4")
+
+
+def normal_points(npoints: int, sigma: float = 0.5, mean: float = 0.5,
+                  seed: int = 0) -> np.ndarray:
+    """``(npoints, 3)`` float32 coordinates, Normal(mean, sigma), clipped
+    to ``[0, 1)``."""
+    if npoints < 0:
+        raise ValueError(f"npoints must be non-negative, got {npoints}")
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(mean, sigma, size=(npoints, 3)).astype(_DTYPE)
+    # Clip after the float32 conversion: a float64 value just below 1.0
+    # would otherwise round up to exactly 1.0.
+    top = np.nextafter(np.float32(1.0), np.float32(0.0))
+    np.clip(pts, np.float32(0.0), top, out=pts)
+    return pts
+
+
+def points_to_bytes(points: np.ndarray) -> bytes:
+    """Serialise an ``(n, 3)`` array to the on-PFS binary format."""
+    arr = np.ascontiguousarray(points, dtype=_DTYPE)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValueError(f"expected an (n, 3) array, got shape {arr.shape}")
+    return arr.tobytes()
+
+
+def bytes_to_points(data: bytes) -> np.ndarray:
+    """Inverse of :func:`points_to_bytes`."""
+    if len(data) % POINT_RECORD_SIZE:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of "
+            f"{POINT_RECORD_SIZE}")
+    return np.frombuffer(data, dtype=_DTYPE).reshape(-1, 3)

@@ -1,0 +1,97 @@
+"""Synthetic text corpora for WordCount.
+
+``uniform_text`` draws fixed-length words uniformly from a vocabulary -
+balanced keys, the paper's well-behaved case.  ``zipf_text`` draws
+variable-length words from a Zipf distribution - a few words dominate
+and word lengths vary, reproducing the load imbalance and high
+compressibility that make the paper's Wikipedia runs hard on MR-MPI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ALPHABET = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
+
+
+def _make_vocabulary(rng: np.random.Generator, nwords: int,
+                     lengths: np.ndarray) -> list[bytes]:
+    """Distinct random words with the given per-word lengths."""
+    vocab: list[bytes] = []
+    seen: set[bytes] = set()
+    for length in lengths:
+        for _ in range(100):
+            letters = rng.integers(0, len(_ALPHABET), size=int(length))
+            word = _ALPHABET[letters].tobytes()
+            if word not in seen:
+                seen.add(word)
+                vocab.append(word)
+                break
+        else:  # pragma: no cover - 100 collisions is practically impossible
+            raise RuntimeError("could not generate a distinct word")
+    return vocab
+
+
+def _render(vocab: list[bytes], indices: np.ndarray,
+            total_bytes: int) -> bytes:
+    """Concatenate sampled words (space separated), cut at a boundary."""
+    width = max(len(w) for w in vocab) + 1
+    table = np.zeros((len(vocab), width), dtype=np.uint8)
+    for i, word in enumerate(vocab):
+        row = word + b" "
+        table[i, : len(row)] = np.frombuffer(row, dtype=np.uint8)
+    data = table[indices].reshape(-1).tobytes()
+    # Fixed-width rows pad with NULs after the trailing space; squeezing
+    # them out restores plain space-separated text.
+    data = data.replace(b"\0", b"")
+    if len(data) <= total_bytes:
+        return data
+    cut = data.rfind(b" ", 0, total_bytes + 1)
+    return data[: cut + 1] if cut > 0 else data[:total_bytes]
+
+
+def uniform_text(total_bytes: int, vocab_size: int = 4096,
+                 word_len: int = 6, seed: int = 0) -> bytes:
+    """Uniform random text of roughly ``total_bytes`` bytes."""
+    if total_bytes <= 0:
+        return b""
+    if vocab_size <= 0 or word_len <= 0:
+        raise ValueError("vocab_size and word_len must be positive")
+    rng = np.random.default_rng(seed)
+    vocab = _make_vocabulary(
+        rng, vocab_size, np.full(vocab_size, word_len, dtype=np.int64))
+    nwords = total_bytes // (word_len + 1) + 1
+    indices = rng.integers(0, vocab_size, size=nwords)
+    return _render(vocab, indices, total_bytes)
+
+
+def zipf_text(total_bytes: int, vocab_size: int = 8192, s: float = 0.95,
+              min_len: int = 3, max_len: int = 16, seed: int = 0) -> bytes:
+    """Zipf-skewed text: heterogeneous word frequencies and lengths.
+
+    Rank-``r`` word probability is proportional to ``1 / r**s``; the
+    most frequent words are short (as in natural language), the tail is
+    long and varied.  The default exponent puts the top word at ~6 % of
+    all occurrences, matching English-text corpora like the paper's
+    Wikipedia dump.
+    """
+    if total_bytes <= 0:
+        return b""
+    if vocab_size <= 0:
+        raise ValueError("vocab_size must be positive")
+    if not 0 < min_len <= max_len:
+        raise ValueError("need 0 < min_len <= max_len")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = ranks ** (-s)
+    probs /= probs.sum()
+    # Frequent words short, rare words longer (log-like growth).
+    lengths = np.clip(
+        min_len + np.log2(ranks).astype(np.int64) // 2 +
+        rng.integers(0, 3, size=vocab_size),
+        min_len, max_len)
+    vocab = _make_vocabulary(rng, vocab_size, lengths)
+    mean_len = float(np.dot(probs, lengths + 1))
+    nwords = int(total_bytes / mean_len) + 1
+    indices = rng.choice(vocab_size, size=nwords, p=probs)
+    return _render(vocab, indices, total_bytes)

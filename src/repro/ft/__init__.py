@@ -1,0 +1,29 @@
+"""Fault tolerance: phase-level checkpoint/restart for MapReduce jobs.
+
+The paper notes that MR-MPI "is unable to handle system faults" and
+that the authors addressed this in prior work (Guo et al., SC'15,
+"Fault Tolerant MapReduce-MPI for HPC Clusters").  This package
+reproduces the checkpoint/restart flavour of that design on top of the
+simulated cluster:
+
+- :class:`CheckpointManager` persists phase outputs (KVCs and small
+  control state) to the parallel file system with collective
+  completion markers;
+- :class:`FaultPlan` / :class:`SimulatedRankFailure` inject
+  deterministic rank failures at named points;
+- :func:`run_with_recovery` restarts a failed job, letting it skip
+  phases whose checkpoints completed - so work lost to a failure is
+  bounded by one phase instead of the whole job.
+"""
+
+from repro.ft.checkpoint import CheckpointManager
+from repro.ft.faults import FaultPlan, SimulatedRankFailure
+from repro.ft.runner import FTResult, run_with_recovery
+
+__all__ = [
+    "CheckpointManager",
+    "FTResult",
+    "FaultPlan",
+    "SimulatedRankFailure",
+    "run_with_recovery",
+]

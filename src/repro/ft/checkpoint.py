@@ -1,0 +1,103 @@
+"""Phase-level checkpoints on the parallel file system.
+
+A checkpoint of a phase is the concatenated encoded records of each
+rank's output KVC, written to ``ckpt/<job>/<phase>.<rank>``, plus a
+per-rank completion marker written *after* a barrier - so a marker's
+existence proves every rank's data reached the PFS.  Loading a
+checkpoint replays the bytes into a fresh KVC (charging PFS reads),
+exactly what a restarted rank would do.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.cluster import RankEnv
+from repro.core.kvcontainer import KVContainer
+from repro.core.records import KVLayout
+
+
+class CheckpointManager:
+    """One rank's view of a job's checkpoint directory."""
+
+    def __init__(self, env: RankEnv, job_id: str):
+        self.env = env
+        self.job_id = job_id
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------- paths
+
+    def _data_path(self, phase: str) -> str:
+        return f"ckpt/{self.job_id}/{phase}.{self.env.comm.rank}"
+
+    def _marker_path(self, phase: str) -> str:
+        return f"ckpt/{self.job_id}/{phase}.done.{self.env.comm.rank}"
+
+    # ----------------------------------------------------------- queries
+
+    def has(self, phase: str) -> bool:
+        """Whether this phase completed on *every* rank (collective call).
+
+        A failure can interleave with marker writes so that only some
+        ranks' markers reached the PFS; deciding completion with an
+        agreement (logical AND across ranks) guarantees every rank
+        takes the same restart path.  A partially complete checkpoint
+        is simply recomputed and overwritten.
+        """
+        local = self.env.pfs.exists(self._marker_path(phase))
+        return self.env.comm.all_true(local)
+
+    # -------------------------------------------------------------- save
+
+    def save_kvc(self, phase: str, kvc: KVContainer) -> None:
+        """Persist a phase's KVC output; collective (all ranks call).
+
+        Two-phase commit: markers are written only after every rank's
+        data is durable, and the trailing barrier means that once
+        ``save_kvc`` returns *anywhere*, every marker is on the PFS -
+        a later failure cannot leave a half-committed checkpoint.
+        """
+        payload = b"".join(bytes(page.view) for page in kvc.pages)
+        self.env.pfs.write(self.env.comm, self._data_path(phase), payload)
+        self.bytes_written += len(payload)
+        self.env.comm.barrier()
+        self.env.pfs.write(self.env.comm, self._marker_path(phase), b"ok")
+        self.env.comm.barrier()
+
+    def save_state(self, phase: str, state: object) -> None:
+        """Persist small picklable control state (e.g. loop counters)."""
+        payload = pickle.dumps(state)
+        self.env.pfs.write(self.env.comm, self._data_path(phase), payload)
+        self.bytes_written += len(payload)
+        self.env.comm.barrier()
+        self.env.pfs.write(self.env.comm, self._marker_path(phase), b"ok")
+        self.env.comm.barrier()
+
+    # -------------------------------------------------------------- load
+
+    def load_kvc(self, phase: str, layout: KVLayout | None = None,
+                 page_size: int = 64 * 1024,
+                 tag: str = "kv_restored") -> KVContainer:
+        """Rebuild this rank's KVC from a completed checkpoint."""
+        if not self.has(phase):
+            raise KeyError(f"no completed checkpoint for phase {phase!r}")
+        data = self.env.pfs.read(self.env.comm, self._data_path(phase))
+        self.bytes_read += len(data)
+        kvc = KVContainer(self.env.tracker, layout, page_size, tag=tag)
+        kvc.extend_encoded(data)
+        return kvc
+
+    def load_state(self, phase: str) -> object:
+        if not self.has(phase):
+            raise KeyError(f"no completed checkpoint for phase {phase!r}")
+        data = self.env.pfs.read(self.env.comm, self._data_path(phase))
+        self.bytes_read += len(data)
+        return pickle.loads(data)
+
+    # ------------------------------------------------------------- purge
+
+    def clear(self) -> None:
+        """Drop every checkpoint of this job (post-success cleanup)."""
+        for path in self.env.pfs.listdir(f"ckpt/{self.job_id}/"):
+            self.env.pfs.delete(path)

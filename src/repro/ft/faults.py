@@ -1,0 +1,54 @@
+"""Deterministic fault injection for simulated ranks.
+
+A :class:`FaultPlan` names ``(checkpoint_tag, rank)`` points at which a
+rank dies with :class:`SimulatedRankFailure`.  Each planned failure
+fires exactly once, even across job restarts - the plan itself carries
+the fired-state, mirroring a transient hardware fault that does not
+recur after recovery.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+class SimulatedRankFailure(RuntimeError):
+    """An injected rank crash (stands in for a node/process fault)."""
+
+    def __init__(self, tag: str, rank: int):
+        self.tag = tag
+        self.rank = rank
+        super().__init__(f"injected failure of rank {rank} at {tag!r}")
+
+
+@dataclass
+class FaultPlan:
+    """Failures to inject: ``{(tag, rank), ...}``."""
+
+    failures: set[tuple[str, int]] = field(default_factory=set)
+    _fired: set[tuple[str, int]] = field(default_factory=set)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def fail_at(self, tag: str, rank: int) -> "FaultPlan":
+        """Schedule one failure; returns self for chaining."""
+        self.failures.add((tag, rank))
+        return self
+
+    def check(self, tag: str, rank: int) -> None:
+        """Raise :class:`SimulatedRankFailure` if this point is armed."""
+        point = (tag, rank)
+        with self._lock:
+            if point in self.failures and point not in self._fired:
+                self._fired.add(point)
+                raise SimulatedRankFailure(tag, rank)
+
+    @property
+    def fired(self) -> set[tuple[str, int]]:
+        with self._lock:
+            return set(self._fired)
+
+    @property
+    def pending(self) -> set[tuple[str, int]]:
+        with self._lock:
+            return self.failures - self._fired

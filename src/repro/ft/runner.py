@@ -1,0 +1,68 @@
+"""Restart-on-failure driver.
+
+``run_with_recovery`` runs a job on a cluster; when a rank dies with
+:class:`SimulatedRankFailure`, the whole allocation is torn down (as an
+MPI launcher would) and the job is resubmitted against the same PFS -
+so checkpoints written by completed phases survive and the restarted
+job skips them.  Total virtual time accumulates across attempts,
+making the cost of a failure (and the value of checkpointing) directly
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cluster import Cluster, ClusterResult, RankEnv
+from repro.ft.checkpoint import CheckpointManager
+from repro.ft.faults import FaultPlan, SimulatedRankFailure
+from repro.mpi.errors import RankFailedError
+
+#: Job signature: ``fn(env, ckpt, faults) -> value``.
+FTJob = Callable[[RankEnv, CheckpointManager, FaultPlan], Any]
+
+
+@dataclass
+class FTResult:
+    """Outcome of a possibly-restarted job."""
+
+    result: ClusterResult
+    attempts: int
+    total_elapsed: float
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def restarts(self) -> int:
+        return self.attempts - 1
+
+
+def run_with_recovery(cluster: Cluster, job: FTJob, *,
+                      faults: FaultPlan | None = None,
+                      job_id: str = "job",
+                      max_restarts: int = 8) -> FTResult:
+    """Run ``job`` to completion, restarting on injected failures."""
+    plan = faults or FaultPlan()
+    total_elapsed = 0.0
+    failures: list[str] = []
+
+    def rank_fn(env: RankEnv) -> Any:
+        return job(env, CheckpointManager(env, job_id), plan)
+
+    for attempt in range(1, max_restarts + 2):
+        try:
+            result = cluster.run(rank_fn)
+        except RankFailedError as failure:
+            if not isinstance(failure.original, SimulatedRankFailure):
+                raise
+            # Virtual time burnt by the failed attempt still counts.
+            lost_clocks = getattr(failure, "clocks", None) or [0.0]
+            total_elapsed += max(lost_clocks)
+            failures.append(str(failure.original))
+            if attempt > max_restarts:
+                raise
+            continue
+        total_elapsed += result.elapsed
+        return FTResult(result, attempt, total_elapsed, failures)
+
+    raise AssertionError("unreachable")

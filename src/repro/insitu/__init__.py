@@ -1,0 +1,22 @@
+"""In-situ analytics: MapReduce over live simulation data.
+
+The paper lists three input sources for Mimir's map phase: PFS files,
+previous MapReduce output, and "sources other than MapReduce jobs
+(e.g., in situ analytics workflows)" - and positions Mimir against
+Smart (SC'15) as a framework that keeps *full* MapReduce semantics
+while still serving in-situ analysis.  This package exercises that
+third source:
+
+- :class:`ParticleSimulation` - a small time-stepping scientific
+  simulation (random-walk particles in the unit cube) standing in for
+  the producing application;
+- :class:`InSituAnalytics` - couples the simulation to Mimir
+  analyses per timestep *without* a PFS round trip, and offers the
+  post-hoc alternative (write each step to the PFS, analyse later) so
+  the I/O saving is measurable.
+"""
+
+from repro.insitu.pipeline import InSituAnalytics, StepSummary
+from repro.insitu.simulation import ParticleSimulation
+
+__all__ = ["InSituAnalytics", "ParticleSimulation", "StepSummary"]

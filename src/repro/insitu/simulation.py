@@ -1,0 +1,67 @@
+"""A miniature time-stepping particle simulation.
+
+Stands in for the scientific application whose data an in-situ
+analysis consumes: each rank owns a block of particles in the unit
+cube that drift with reflected Gaussian steps.  Deterministic per
+(seed, rank), and the compute cost of stepping is charged to the
+rank's virtual clock like any other work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import RankEnv
+from repro.io.splits import split_range
+
+
+class ParticleSimulation:
+    """Rank-local slice of a distributed particle simulation."""
+
+    def __init__(self, env: RankEnv, total_particles: int, *,
+                 sigma: float = 0.02, seed: int = 0):
+        if total_particles < 0:
+            raise ValueError(
+                f"total_particles must be non-negative, got {total_particles}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.env = env
+        comm = env.comm
+        first, last = split_range(total_particles, comm.rank, comm.size)
+        self.nlocal = last - first
+        self.total_particles = total_particles
+        self.sigma = sigma
+        self._rng = np.random.default_rng((seed, comm.rank))
+        self.positions = self._rng.random((self.nlocal, 3)).astype("<f4")
+        self.timestep = 0
+        # Particle state is real memory the analysis shares the node
+        # with; charge it for the simulation's lifetime.
+        self._state_bytes = self.positions.nbytes
+        env.tracker.allocate(self._state_bytes, "simulation_state")
+
+    def step(self) -> np.ndarray:
+        """Advance one timestep; returns the new positions (view)."""
+        drift = self._rng.normal(0.0, self.sigma,
+                                 size=self.positions.shape).astype("<f4")
+        self.positions += drift
+        # Reflecting boundaries keep the domain the unit cube.
+        np.abs(self.positions, out=self.positions)
+        over = self.positions > 1.0
+        self.positions[over] = 2.0 - self.positions[over]
+        np.clip(self.positions, 0.0, np.nextafter(np.float32(1.0),
+                                                  np.float32(0.0)),
+                out=self.positions)
+        self.timestep += 1
+        # Stepping costs compute proportional to the particle data.
+        self.env.charge_compute(self.positions.nbytes)
+        return self.positions
+
+    def snapshot_bytes(self) -> bytes:
+        """Current positions serialised (for the post-hoc PFS path)."""
+        return np.ascontiguousarray(self.positions).tobytes()
+
+    def finalize(self) -> None:
+        """Release the simulation state accounting."""
+        if self._state_bytes:
+            self.env.tracker.free(self._state_bytes, "simulation_state")
+            self._state_bytes = 0

@@ -1,0 +1,24 @@
+"""I/O substrate: simulated parallel file system, spill files, input splits.
+
+Large supercomputers have no node-local disk; everything - input data
+and any out-of-core spill - goes through a shared parallel file system
+(Lustre on Comet, GPFS behind I/O forwarding on Mira).  This package
+simulates that: a :class:`ParallelFileSystem` holds named blobs shared
+by all ranks and charges virtual time for every access, which is what
+makes MR-MPI's I/O spillover as catastrophically expensive here as in
+the paper's Figure 1.
+"""
+
+from repro.io.pfs import FileStats, ParallelFileSystem
+from repro.io.spill import SpillReader, SpillWriter
+from repro.io.splits import split_blocks, split_range, split_text
+
+__all__ = [
+    "FileStats",
+    "ParallelFileSystem",
+    "SpillReader",
+    "SpillWriter",
+    "split_blocks",
+    "split_range",
+    "split_text",
+]

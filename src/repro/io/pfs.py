@@ -1,0 +1,146 @@
+"""Simulated globally shared parallel file system.
+
+Files are named byte blobs visible to every rank.  Accesses made
+through a communicator charge virtual time using the platform's
+:class:`~repro.mpi.costmodel.PFSModel`; ``store``/``fetch`` are
+zero-cost staging hooks for test and benchmark setup (the equivalent
+of data already resident before the timed job starts is *not* free -
+input reads go through :meth:`read` - but generating the dataset is).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.mpi.comm import SimComm
+from repro.mpi.costmodel import PFSModel
+
+
+@dataclass
+class FileStats:
+    """Aggregate traffic counters for one file system."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    reads: int = 0
+    writes: int = 0
+    by_prefix: dict[str, int] = field(default_factory=dict)
+
+    def _charge(self, path: str, nbytes: int) -> None:
+        prefix = path.split("/", 1)[0] if "/" in path else path
+        self.by_prefix[prefix] = self.by_prefix.get(prefix, 0) + nbytes
+
+
+class ParallelFileSystem:
+    """Thread-safe shared blob store with an I/O cost model.
+
+    ``sharers`` models bandwidth contention: the ranks of one node
+    share the node's PFS pipe, so each rank sees ``bandwidth /
+    sharers``.  This contention is what makes I/O spillover from a
+    fully populated node as catastrophic as the paper's Figure 1.
+    """
+
+    def __init__(self, model: PFSModel | None = None, sharers: int = 1):
+        if sharers <= 0:
+            raise ValueError(f"sharers must be positive, got {sharers}")
+        self.model = model or PFSModel(latency=0.0, bandwidth=float("inf"))
+        self.sharers = sharers
+        self._files: dict[str, bytearray] = {}
+        self._lock = threading.Lock()
+        self.stats = FileStats()
+
+    def _cost(self, nbytes: int, write: bool = False) -> float:
+        bw = self.model.effective_write_bandwidth if write else \
+            self.model.effective_bandwidth
+        return self.model.latency + nbytes * self.sharers / bw
+
+    # -------------------------------------------------------- cost-free staging
+
+    def store(self, path: str, data: bytes | bytearray) -> None:
+        """Place a file without charging time (dataset staging)."""
+        with self._lock:
+            self._files[path] = bytearray(data)
+
+    def fetch(self, path: str) -> bytes:
+        """Read a file without charging time (result inspection)."""
+        with self._lock:
+            return bytes(self._files[path])
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._files
+
+    def size(self, path: str) -> int:
+        with self._lock:
+            return len(self._files[path])
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(p for p in self._files if p.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        with self._lock:
+            self._files.pop(path, None)
+
+    # ------------------------------------------------------------ costed I/O
+
+    def read(self, comm: SimComm, path: str, offset: int = 0,
+             size: int | None = None) -> bytes:
+        """Read ``size`` bytes at ``offset``, charging the caller's clock."""
+        with self._lock:
+            blob = self._files[path]
+            end = len(blob) if size is None else min(offset + size, len(blob))
+            data = bytes(blob[offset:end])
+            self.stats.bytes_read += len(data)
+            self.stats.reads += 1
+            self.stats._charge(path, len(data))
+        comm.advance(self._cost(len(data)))
+        return data
+
+    def write(self, comm: SimComm, path: str, data: bytes | bytearray) -> None:
+        """Replace ``path`` with ``data``, charging the caller's clock."""
+        with self._lock:
+            self._files[path] = bytearray(data)
+            self.stats.bytes_written += len(data)
+            self.stats.writes += 1
+            self.stats._charge(path, len(data))
+        comm.advance(self._cost(len(data), write=True))
+
+    def write_at(self, comm: SimComm, path: str, offset: int,
+                 data: bytes | bytearray) -> None:
+        """Positional write (MPI-IO style): ranks fill disjoint regions.
+
+        The file grows as needed; unwritten gaps read as zero bytes.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        with self._lock:
+            blob = self._files.setdefault(path, bytearray())
+            end = offset + len(data)
+            if len(blob) < end:
+                blob.extend(b"\0" * (end - len(blob)))
+            blob[offset:end] = data
+            self.stats.bytes_written += len(data)
+            self.stats.writes += 1
+            self.stats._charge(path, len(data))
+        comm.advance(self._cost(len(data), write=True))
+
+    def append(self, comm: SimComm, path: str, data: bytes | bytearray) -> int:
+        """Append ``data``; returns the offset it was written at."""
+        with self._lock:
+            blob = self._files.setdefault(path, bytearray())
+            offset = len(blob)
+            blob.extend(data)
+            self.stats.bytes_written += len(data)
+            self.stats.writes += 1
+            self.stats._charge(path, len(data))
+        comm.advance(self._cost(len(data), write=True))
+        return offset
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes written under the ``spill`` prefix (out-of-core traffic)."""
+        return self.stats.by_prefix.get("spill", 0)

@@ -1,0 +1,70 @@
+"""Out-of-core spill streams on the parallel file system.
+
+When a framework's in-memory page fills, the page contents are written
+to a per-rank spill stream and later read back one chunk at a time.
+Chunk boundaries are preserved so that record encodings (which never
+straddle a page) can be decoded chunk-by-chunk on the way back in.
+"""
+
+from __future__ import annotations
+
+from repro.io.pfs import ParallelFileSystem
+from repro.mpi.comm import SimComm
+
+
+class SpillWriter:
+    """Appends page-sized chunks to ``spill/<name>.<rank>``."""
+
+    def __init__(self, pfs: ParallelFileSystem, comm: SimComm, name: str):
+        self.pfs = pfs
+        self.comm = comm
+        self.path = f"spill/{name}.{comm.rank}"
+        self.chunks: list[tuple[int, int]] = []  # (offset, length)
+        self.total_bytes = 0
+
+    def write_chunk(self, data: bytes | bytearray | memoryview) -> None:
+        """Spill one chunk (typically a full page) to the PFS."""
+        payload = bytes(data)
+        if not payload:
+            return
+        offset = self.pfs.append(self.comm, self.path, payload)
+        self.chunks.append((offset, len(payload)))
+        self.total_bytes += len(payload)
+
+    @property
+    def nchunks(self) -> int:
+        return len(self.chunks)
+
+    def reader(self) -> "SpillReader":
+        return SpillReader(self.pfs, self.comm, self.path, list(self.chunks))
+
+    def discard(self) -> None:
+        """Remove the spill file (job teardown)."""
+        self.pfs.delete(self.path)
+        self.chunks.clear()
+
+
+class SpillReader:
+    """Reads chunks back in write order, charging PFS read costs."""
+
+    def __init__(self, pfs: ParallelFileSystem, comm: SimComm, path: str,
+                 chunks: list[tuple[int, int]]):
+        self.pfs = pfs
+        self.comm = comm
+        self.path = path
+        self.chunks = chunks
+        self._next = 0
+
+    def __iter__(self) -> "SpillReader":
+        return self
+
+    def __next__(self) -> bytes:
+        if self._next >= len(self.chunks):
+            raise StopIteration
+        offset, length = self.chunks[self._next]
+        self._next += 1
+        return self.pfs.read(self.comm, self.path, offset, length)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.chunks) - self._next

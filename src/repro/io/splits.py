@@ -1,0 +1,72 @@
+"""Partitioning input data across ranks.
+
+Mirrors what MapReduce-over-MPI libraries do at job start: each rank
+claims a contiguous byte range of the input file, adjusted so records
+(whitespace-separated words, fixed-size binary blocks, or index ranges)
+never straddle a split boundary.
+"""
+
+from __future__ import annotations
+
+_WHITESPACE = b" \t\n\r\x0b\x0c"
+
+
+def split_range(total: int, rank: int, size: int) -> tuple[int, int]:
+    """Contiguous ``[start, end)`` share of ``total`` items for ``rank``.
+
+    Remainder items go to the lowest ranks, so shares differ by at most
+    one and every item is covered exactly once.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, size)
+    start = rank * base + min(rank, extra)
+    end = start + base + (1 if rank < extra else 0)
+    return start, end
+
+
+def split_text(data: bytes, rank: int, size: int) -> tuple[int, int]:
+    """Byte range of ``data`` for ``rank``, snapped to word boundaries.
+
+    Each rank starts just after the first whitespace at-or-after its
+    nominal offset (rank 0 starts at 0) and ends where the next rank
+    starts, so every word belongs to exactly one rank.
+    """
+    start, _ = split_range(len(data), rank, size)
+    _, nominal_end = split_range(len(data), rank, size)
+
+    def snap(pos: int) -> int:
+        if pos == 0 or pos >= len(data):
+            return min(pos, len(data))
+        # Advance to the next whitespace, then past it.
+        while pos < len(data) and data[pos] not in _WHITESPACE:
+            pos += 1
+        return min(pos + 1, len(data)) if pos < len(data) else len(data)
+
+    snapped_start = snap(start)
+    snapped_end = snap(nominal_end)
+    if snapped_end < snapped_start:
+        snapped_end = snapped_start
+    return snapped_start, snapped_end
+
+
+def split_blocks(total_bytes: int, block_size: int, rank: int,
+                 size: int) -> tuple[int, int]:
+    """Byte range covering whole fixed-size records.
+
+    ``total_bytes`` must be a multiple of ``block_size``; the returned
+    range is block-aligned on both ends.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    if total_bytes % block_size:
+        raise ValueError(
+            f"total_bytes {total_bytes} is not a multiple of block size "
+            f"{block_size}")
+    nblocks = total_bytes // block_size
+    first, last = split_range(nblocks, rank, size)
+    return first * block_size, last * block_size

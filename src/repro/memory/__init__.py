@@ -1,0 +1,22 @@
+"""Memory substrate: byte-accurate per-rank accounting and page pools.
+
+Both Mimir and the MR-MPI baseline allocate all significant buffers
+through this package, so peak-memory numbers reported by the benchmarks
+are exact byte counts of the frameworks' data structures rather than
+process RSS.  The page abstraction mirrors the fixed-size-buffer idiom
+both libraries use to avoid allocator fragmentation on lightweight
+kernels (e.g. the BG/Q CNK).
+"""
+
+from repro.memory.limits import format_size, parse_size
+from repro.memory.pages import Page, PagePool
+from repro.memory.tracker import MemoryLimitExceeded, MemoryTracker
+
+__all__ = [
+    "MemoryLimitExceeded",
+    "MemoryTracker",
+    "Page",
+    "PagePool",
+    "format_size",
+    "parse_size",
+]

@@ -1,0 +1,76 @@
+"""Human-readable byte-size parsing and formatting.
+
+The paper quotes every size in binary units (64 MB pages, 128 GB
+nodes); configuration throughout the reproduction accepts the same
+shorthand strings.
+"""
+
+from __future__ import annotations
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": 1 << 10,
+    "KB": 1 << 10,
+    "KIB": 1 << 10,
+    "M": 1 << 20,
+    "MB": 1 << 20,
+    "MIB": 1 << 20,
+    "G": 1 << 30,
+    "GB": 1 << 30,
+    "GIB": 1 << 30,
+    "T": 1 << 40,
+    "TB": 1 << 40,
+    "TIB": 1 << 40,
+}
+
+
+def parse_size(size: int | float | str) -> int:
+    """Parse ``"64M"``, ``"512K"``, ``"1.5G"`` or a plain number into bytes.
+
+    Binary units throughout (1K = 1024), matching the paper's usage.
+
+    >>> parse_size("64M")
+    67108864
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(size, bool):
+        raise TypeError("size must be a number or string, not bool")
+    if isinstance(size, (int, float)):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return int(size)
+    text = size.strip().upper()
+    if not text:
+        raise ValueError("empty size string")
+    idx = len(text)
+    while idx > 0 and not (text[idx - 1].isdigit() or text[idx - 1] == "."):
+        idx -= 1
+    number, unit = text[:idx], text[idx:].strip()
+    if not number:
+        raise ValueError(f"no numeric part in size string {size!r}")
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {size!r}")
+    value = float(number) * _UNITS[unit]
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {size!r}")
+    return int(value)
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count with the largest exact-ish binary unit.
+
+    >>> format_size(67108864)
+    '64.0M'
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    value = float(nbytes)
+    for suffix in ("B", "K", "M", "G", "T"):
+        if value < 1024 or suffix == "T":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")

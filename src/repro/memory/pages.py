@@ -1,0 +1,104 @@
+"""Fixed-size memory pages and the pool that allocates them.
+
+MR-MPI and Mimir both allocate intermediate-data buffers exclusively in
+fixed-size units ("pages" in MR-MPI's terminology) so that lightweight
+kernels with simplistic heap managers never see fragmentation-inducing
+variable-size requests.  A :class:`Page` is a bytearray with a fill
+watermark; a :class:`PagePool` hands out pages of one configured size
+and charges them to a :class:`~repro.memory.tracker.MemoryTracker`.
+"""
+
+from __future__ import annotations
+
+from repro.memory.limits import parse_size
+from repro.memory.tracker import MemoryTracker
+
+
+class Page:
+    """One fixed-size buffer with a fill watermark.
+
+    ``used`` bytes at the front of ``data`` are valid; the remainder is
+    free space.  Writers append with :meth:`write`; readers slice
+    :attr:`view`.
+    """
+
+    __slots__ = ("data", "used", "size", "tag")
+
+    def __init__(self, size: int, tag: str = "page"):
+        if size <= 0:
+            raise ValueError(f"page size must be positive, got {size}")
+        self.size = size
+        self.data = bytearray(size)
+        self.used = 0
+        self.tag = tag
+
+    @property
+    def remaining(self) -> int:
+        return self.size - self.used
+
+    @property
+    def view(self) -> memoryview:
+        """Read-only view of the valid prefix (no copy)."""
+        return memoryview(self.data)[: self.used]
+
+    def write(self, payload: bytes | bytearray | memoryview) -> bool:
+        """Append ``payload`` if it fits; return ``False`` without writing
+        anything when it does not."""
+        n = len(payload)
+        if n > self.remaining:
+            return False
+        self.data[self.used : self.used + n] = payload
+        self.used += n
+        return True
+
+    def clear(self) -> None:
+        """Reset the watermark; capacity is retained."""
+        self.used = 0
+
+    def __len__(self) -> int:
+        return self.used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page(used={self.used}/{self.size}, tag={self.tag!r})"
+
+
+class PagePool:
+    """Allocates :class:`Page` objects of one size against a tracker.
+
+    The pool itself holds no free list: the simulation's purpose is to
+    *account* for allocation, so acquiring charges the tracker and
+    releasing credits it immediately.  (A free list would hide exactly
+    the memory-footprint behaviour we are measuring.)
+    """
+
+    def __init__(self, tracker: MemoryTracker, page_size: int | str,
+                 tag: str = "page"):
+        self.tracker = tracker
+        self.page_size = parse_size(page_size)
+        if self.page_size <= 0:
+            raise ValueError(f"page size must be positive, got {page_size!r}")
+        self.tag = tag
+        self.outstanding = 0
+
+    def acquire(self, tag: str | None = None) -> Page:
+        """Allocate one page; raises MemoryLimitExceeded when over limit."""
+        use_tag = tag or self.tag
+        self.tracker.allocate(self.page_size, use_tag)
+        self.outstanding += 1
+        return Page(self.page_size, use_tag)
+
+    def release(self, page: Page) -> None:
+        """Return a page to the system (frees its accounting)."""
+        if page.size != self.page_size:
+            raise ValueError(
+                f"page of size {page.size} does not belong to pool of "
+                f"size {self.page_size}")
+        if self.outstanding <= 0:
+            raise ValueError("release without matching acquire")
+        self.tracker.free(self.page_size, page.tag)
+        self.outstanding -= 1
+        page.clear()
+
+    def would_fit(self) -> bool:
+        """Whether one more page fits under the tracker's limit."""
+        return self.tracker.would_fit(self.page_size)

@@ -1,0 +1,125 @@
+"""Byte-accurate memory accounting for a single simulated rank.
+
+Every buffer either framework allocates (pages, communication buffers,
+hash buckets) is charged to a :class:`MemoryTracker`.  The tracker
+enforces the per-rank memory limit of the simulated platform and records
+the peak, which is exactly the "peak memory usage" metric of the paper's
+Figures 8, 9, 11, 12, and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.limits import format_size, parse_size
+
+
+class MemoryLimitExceeded(MemoryError):
+    """Raised when an allocation would push a rank past its memory limit.
+
+    Carries enough context to render the paper's "ran out of memory"
+    data points: which tag overflowed, how much was requested, and the
+    per-tag breakdown at the time of failure.
+    """
+
+    def __init__(self, tag: str, requested: int, current: int, limit: int,
+                 by_tag: dict[str, int]):
+        self.tag = tag
+        self.requested = requested
+        self.current = current
+        self.limit = limit
+        self.by_tag = dict(by_tag)
+        super().__init__(
+            f"allocation of {format_size(requested)} for {tag!r} exceeds "
+            f"limit {format_size(limit)} (in use: {format_size(current)}; "
+            f"by tag: {{{', '.join(f'{k}: {format_size(v)}' for k, v in sorted(by_tag.items()))}}})"
+        )
+
+
+@dataclass
+class MemorySample:
+    """One point of the allocation timeline (virtual bookkeeping only)."""
+
+    seq: int
+    tag: str
+    delta: int
+    current: int
+
+
+class MemoryTracker:
+    """Tracks current/peak allocated bytes for one rank, by tag.
+
+    ``limit`` may be ``None`` (unlimited) or any value accepted by
+    :func:`repro.memory.limits.parse_size`.  ``allocate`` raises
+    :class:`MemoryLimitExceeded` instead of silently exceeding the
+    limit, matching a strict-allocation lightweight-kernel platform.
+    """
+
+    def __init__(self, limit: int | str | None = None, *,
+                 keep_timeline: bool = False):
+        self.limit: int | None = None if limit is None else parse_size(limit)
+        self.current = 0
+        self.peak = 0
+        self._by_tag: dict[str, int] = {}
+        self._seq = 0
+        self.keep_timeline = keep_timeline
+        self.timeline: list[MemorySample] = []
+
+    def allocate(self, nbytes: int, tag: str = "untagged") -> None:
+        """Charge ``nbytes`` to ``tag``; raise if the limit would be exceeded."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes: {nbytes}")
+        if self.limit is not None and self.current + nbytes > self.limit:
+            raise MemoryLimitExceeded(tag, nbytes, self.current, self.limit,
+                                      self._by_tag)
+        self.current += nbytes
+        self._by_tag[tag] = self._by_tag.get(tag, 0) + nbytes
+        if self.current > self.peak:
+            self.peak = self.current
+        self._record(tag, nbytes)
+
+    def free(self, nbytes: int, tag: str = "untagged") -> None:
+        """Release ``nbytes`` previously charged to ``tag``."""
+        if nbytes < 0:
+            raise ValueError(f"cannot free negative bytes: {nbytes}")
+        held = self._by_tag.get(tag, 0)
+        if nbytes > held:
+            raise ValueError(
+                f"freeing {nbytes}B from tag {tag!r} which holds only {held}B")
+        self.current -= nbytes
+        remaining = held - nbytes
+        if remaining:
+            self._by_tag[tag] = remaining
+        else:
+            self._by_tag.pop(tag, None)
+        self._record(tag, -nbytes)
+
+    def _record(self, tag: str, delta: int) -> None:
+        self._seq += 1
+        if self.keep_timeline:
+            self.timeline.append(
+                MemorySample(self._seq, tag, delta, self.current))
+
+    def usage_by_tag(self) -> dict[str, int]:
+        """Current live bytes per tag (a copy)."""
+        return dict(self._by_tag)
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would stay within the limit."""
+        return self.limit is None or self.current + nbytes <= self.limit
+
+    @property
+    def available(self) -> int | None:
+        """Bytes left before the limit, or ``None`` if unlimited."""
+        if self.limit is None:
+            return None
+        return self.limit - self.current
+
+    def reset_peak(self) -> None:
+        """Restart peak measurement from the current level."""
+        self.peak = self.current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lim = "unlimited" if self.limit is None else format_size(self.limit)
+        return (f"MemoryTracker(current={format_size(self.current)}, "
+                f"peak={format_size(self.peak)}, limit={lim})")

@@ -1,0 +1,29 @@
+"""MR-MPI baseline: a faithful reimplementation of the comparator.
+
+MR-MPI (Plimpton & Devine, Parallel Computing 2011) is the
+state-of-the-art MapReduce-over-MPI library the paper improves on.  Its
+defining traits, all reproduced here:
+
+- all intermediate data lives in fixed-size *pages* allocated at the
+  start of each phase (minimum 1 / 7 / 4 / 3 pages for map / aggregate /
+  convert / reduce);
+- the ``aggregate`` and ``convert`` phases are *explicit* - the user
+  calls them - and a global barrier separates every phase;
+- a full page spills to the parallel file system under one of three
+  out-of-core modes (always / when-full / error);
+- the aggregate phase stages data through redundant copies (map output
+  page -> send buffer -> receive buffers -> convert input page).
+"""
+
+from repro.mrmpi.config import MRMPIConfig, OutOfCoreMode
+from repro.mrmpi.errors import PageOverflowError
+from repro.mrmpi.mrmpi import MRMPI
+from repro.mrmpi.pages import PagedObject
+
+__all__ = [
+    "MRMPI",
+    "MRMPIConfig",
+    "OutOfCoreMode",
+    "PageOverflowError",
+    "PagedObject",
+]

@@ -1,0 +1,44 @@
+"""MR-MPI configuration: page size and out-of-core policy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memory.limits import parse_size
+
+
+class OutOfCoreMode(enum.Enum):
+    """MR-MPI's three out-of-core writing settings (paper Section II-B)."""
+
+    #: (1) always write intermediate data to disk.
+    ALWAYS = "always"
+    #: (2) write intermediate data to disk only when it exceeds a page.
+    WHEN_FULL = "when_full"
+    #: (3) report an error and terminate if data exceeds a page.
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class MRMPIConfig:
+    """Configuration for one :class:`~repro.mrmpi.mrmpi.MRMPI` object.
+
+    ``page_size`` defaults to MR-MPI's 64 MB (scaled: 64 KB); users set
+    it larger to use node memory "more effectively", which is exactly
+    the trade-off the paper's Figures 8 and 9 sweep.
+    """
+
+    page_size: int = 64 * 1024
+    mode: OutOfCoreMode = OutOfCoreMode.WHEN_FULL
+    input_chunk_size: int = 64 * 1024
+
+    def __post_init__(self):
+        object.__setattr__(self, "page_size", parse_size(self.page_size))
+        object.__setattr__(self, "input_chunk_size",
+                           parse_size(self.input_chunk_size))
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.page_size}")
+        if self.input_chunk_size <= 0:
+            raise ValueError("input_chunk_size must be positive")
+        if not isinstance(self.mode, OutOfCoreMode):
+            raise ValueError(f"mode must be an OutOfCoreMode, got {self.mode!r}")

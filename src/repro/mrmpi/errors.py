@@ -1,0 +1,22 @@
+"""Errors raised by the MR-MPI baseline."""
+
+from __future__ import annotations
+
+
+class MRMPIError(RuntimeError):
+    """Base class for MR-MPI failures."""
+
+
+class PageOverflowError(MRMPIError):
+    """Intermediate data exceeded one page under the ``ERROR`` mode.
+
+    MR-MPI's third out-of-core setting: "report an error and terminate
+    execution if the intermediate data is larger than a single page".
+    """
+
+    def __init__(self, what: str, page_size: int):
+        self.what = what
+        self.page_size = page_size
+        super().__init__(
+            f"{what} exceeded one page ({page_size} bytes) and the "
+            f"out-of-core mode is ERROR")

@@ -1,0 +1,134 @@
+"""MR-MPI's single-page-plus-spill data objects.
+
+An MR-MPI data object (the KV or KMV of one phase) owns exactly one
+in-memory page.  Records are appended to the page; when the page fills,
+the object's out-of-core mode decides what happens: spill the page to
+the PFS and keep going (``WHEN_FULL``), ditto but also flush at
+finalize (``ALWAYS``), or abort (``ERROR``).  Readers stream the
+spilled chunks back (paying PFS read costs) followed by the resident
+page - so an object that spilled is dramatically slower to re-scan,
+which is the mechanism behind the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cluster import RankEnv
+from repro.core.records import KVLayout
+from repro.io.spill import SpillWriter
+from repro.memory.pages import Page, PagePool
+from repro.mrmpi.config import OutOfCoreMode
+from repro.mrmpi.errors import PageOverflowError
+
+
+class PagedObject:
+    """One page of records with spill overflow (an MR-MPI "KV"/"KMV")."""
+
+    def __init__(self, env: RankEnv, pool: PagePool, name: str,
+                 mode: OutOfCoreMode, layout: KVLayout | None = None,
+                 tag: str | None = None):
+        self.env = env
+        self.pool = pool
+        self.name = name
+        self.mode = mode
+        self.layout = layout or KVLayout()
+        self.page: Page | None = pool.acquire(tag or name)
+        self.spill: SpillWriter | None = None
+        self.nrecords = 0
+        self.nbytes = 0
+
+    # ------------------------------------------------------------- insert
+
+    def append_record(self, record: bytes) -> None:
+        """Append one encoded record, spilling the page when it fills."""
+        page = self._require_page()
+        if len(record) > page.size:
+            # One record (e.g. the KMV of a very frequent key) larger
+            # than a page: MR-MPI handles these out-of-core, chunking
+            # the record straight to the spill file.
+            if self.mode is OutOfCoreMode.ERROR:
+                raise PageOverflowError(
+                    f"{self.name} (single record of {len(record)} bytes)",
+                    page.size)
+            self._spill_page()
+            if self.spill is None:
+                self.spill = SpillWriter(self.env.pfs, self.env.comm,
+                                         self.name)
+            self.spill.write_chunk(record)
+        elif not page.write(record):
+            self._handle_full()
+            page.write(record)
+        self.nrecords += 1
+        self.nbytes += len(record)
+
+    def append_kv(self, key: bytes, value: bytes) -> None:
+        self.append_record(self.layout.encode(key, value))
+
+    def _handle_full(self) -> None:
+        page = self._require_page()
+        if self.mode is OutOfCoreMode.ERROR:
+            raise PageOverflowError(self.name, page.size)
+        self._spill_page()
+
+    def _spill_page(self) -> None:
+        page = self._require_page()
+        if page.used == 0:
+            return
+        if self.spill is None:
+            self.spill = SpillWriter(self.env.pfs, self.env.comm, self.name)
+        self.spill.write_chunk(page.view)
+        page.clear()
+
+    def finalize(self) -> None:
+        """End of the producing phase (``ALWAYS`` mode flushes here)."""
+        if self.mode is OutOfCoreMode.ALWAYS:
+            self._spill_page()
+
+    # ------------------------------------------------------------ reading
+
+    @property
+    def spilled(self) -> bool:
+        return self.spill is not None
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self.spill.total_bytes if self.spill else 0
+
+    def chunks(self) -> Iterator[bytes]:
+        """Stream the data: spilled chunks (PFS reads), then the page."""
+        if self.spill is not None:
+            yield from self.spill.reader()
+        page = self._require_page()
+        if page.used:
+            yield bytes(page.view)
+
+    def records(self) -> Iterator[tuple[bytes, bytes]]:
+        """Decode every record in insertion order."""
+        for chunk in self.chunks():
+            yield from self.layout.iter_records(chunk)
+
+    # ------------------------------------------------------------- manage
+
+    def _require_page(self) -> Page:
+        if self.page is None:
+            raise ValueError(f"PagedObject {self.name!r} already freed")
+        return self.page
+
+    def free(self) -> None:
+        """Release the page and any spill file."""
+        if self.page is not None:
+            self.pool.release(self.page)
+            self.page = None
+        if self.spill is not None:
+            self.spill.discard()
+            self.spill = None
+        self.nrecords = 0
+        self.nbytes = 0
+
+    def __len__(self) -> int:
+        return self.nrecords
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PagedObject({self.name!r}, nrecords={self.nrecords}, "
+                f"spilled={self.spilled})")

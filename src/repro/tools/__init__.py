@@ -1,0 +1,19 @@
+"""Post-mortem analysis tools.
+
+Load imbalance is the paper's recurring villain (it drives every
+weak-scaling failure in Figures 10 and 14) and peak memory its central
+metric; these helpers turn per-rank measurements and allocation
+timelines into the numbers and breakdowns the paper discusses.
+"""
+
+from repro.tools.balance import ImbalanceReport
+from repro.tools.timeline import composition_at_peak, render_timeline
+from repro.tools.trace import Event, Trace
+
+__all__ = [
+    "Event",
+    "ImbalanceReport",
+    "Trace",
+    "composition_at_peak",
+    "render_timeline",
+]

@@ -1,0 +1,58 @@
+"""Memory-timeline analysis and rendering.
+
+Works on a :class:`~repro.memory.tracker.MemoryTracker` created with
+``keep_timeline=True``: reconstructs what each tag held at the moment
+of the global peak (the breakdown behind "the aggregate phase's seven
+pages dominate") and renders the footprint as an ASCII profile.
+"""
+
+from __future__ import annotations
+
+from repro.memory.tracker import MemoryTracker
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def composition_at_peak(tracker: MemoryTracker) -> dict[str, int]:
+    """Per-tag bytes held at the allocation-time global peak.
+
+    Requires the tracker to have been created with
+    ``keep_timeline=True``; raises otherwise.
+    """
+    if not tracker.keep_timeline:
+        raise ValueError("tracker was not created with keep_timeline=True")
+    by_tag: dict[str, int] = {}
+    best: dict[str, int] = {}
+    best_level = -1
+    for sample in tracker.timeline:
+        level = by_tag.get(sample.tag, 0) + sample.delta
+        if level:
+            by_tag[sample.tag] = level
+        else:
+            by_tag.pop(sample.tag, None)
+        if sample.current > best_level:
+            best_level = sample.current
+            best = dict(by_tag)
+    return best
+
+
+def render_timeline(tracker: MemoryTracker, width: int = 60) -> str:
+    """ASCII profile of the footprint over allocation events."""
+    if not tracker.keep_timeline:
+        raise ValueError("tracker was not created with keep_timeline=True")
+    samples = tracker.timeline
+    if not samples:
+        return "(no allocations)"
+    levels = [s.current for s in samples]
+    peak = max(levels) or 1
+    # Downsample to the requested width, keeping each bucket's maximum
+    # (peaks must survive the compression).
+    buckets = []
+    per = max(1, -(-len(levels) // width))  # ceil: at most `width` buckets
+    for start in range(0, len(levels), per):
+        buckets.append(max(levels[start : start + per]))
+    bars = "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1,
+                    round(level / peak * (len(_BLOCKS) - 1)))]
+        for level in buckets)
+    return f"{bars}  peak={peak}B over {len(levels)} events"

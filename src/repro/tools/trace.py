@@ -1,0 +1,79 @@
+"""Structured event tracing for post-mortem debugging.
+
+A :class:`Trace` collects typed events (phase boundaries, exchange
+rounds, spills, checkpoints, custom markers) with virtual timestamps
+and rank ids, and renders them as a merged timeline or exports JSON.
+Cheap enough to leave attached in tests; off by default everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Event:
+    """One traced occurrence on one rank."""
+
+    time: float
+    rank: int
+    kind: str                     # "phase", "exchange", "spill", ...
+    label: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Thread-safe event sink shared by all ranks of a job."""
+
+    def __init__(self):
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def emit(self, env, kind: str, label: str, **data: Any) -> None:
+        """Record one event stamped with the rank's virtual clock."""
+        event = Event(time=env.comm.clock.time, rank=env.comm.rank,
+                      kind=kind, label=label, data=dict(data))
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def events(self) -> list[Event]:
+        with self._lock:
+            return list(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_rank(self, rank: int) -> list[Event]:
+        return [e for e in self.events if e.rank == rank]
+
+    def merged(self) -> list[Event]:
+        """All events in virtual-time order (rank breaks ties)."""
+        return sorted(self.events, key=lambda e: (e.time, e.rank))
+
+    # ------------------------------------------------------------ exports
+
+    def to_json(self) -> str:
+        return json.dumps([asdict(e) for e in self.merged()], indent=2)
+
+    def render(self, limit: int = 50) -> str:
+        lines = [f"{'t(virt)':>10}  {'rank':>4}  {'kind':<10} label"]
+        for event in self.merged()[:limit]:
+            lines.append(f"{event.time:>10.5f}  {event.rank:>4}  "
+                         f"{event.kind:<10} {event.label}")
+        extra = len(self.events) - limit
+        if extra > 0:
+            lines.append(f"... {extra} more events")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

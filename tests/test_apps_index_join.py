@@ -1,0 +1,135 @@
+"""Inverted index and reduce-side join."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.inverted_index import (
+    inverted_index_mimir,
+    merge_postings,
+    pack_postings,
+    unpack_postings,
+)
+from repro.apps.join import JoinResult, join_mimir, tag_value, untag_value
+from repro.cluster import Cluster
+from repro.core import MimirConfig
+from repro.mpi import COMET, RankFailedError
+
+CFG = MimirConfig(page_size=4096, comm_buffer_size=4096,
+                  input_chunk_size=512)
+
+DOCS = {
+    "docs/a.txt": b"the cat sat on the mat",
+    "docs/b.txt": b"the dog chased the cat",
+    "docs/c.txt": b"a bird watched the dog and the cat",
+    "docs/d.txt": b"mat and bird and dog",
+    "docs/e.txt": b"quiet afternoon",
+}
+
+
+def brute_force_index():
+    paths = sorted(DOCS)
+    expected: dict[bytes, list[int]] = {}
+    for doc_id, path in enumerate(paths):
+        for word in set(DOCS[path].split()):
+            expected.setdefault(word, []).append(doc_id)
+    return {w: sorted(ids) for w, ids in expected.items()}
+
+
+def run_index(nprocs=3, **kwargs):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    for path, data in DOCS.items():
+        cluster.pfs.store(path, data)
+    result = cluster.run(
+        lambda env: inverted_index_mimir(env, "docs/", CFG, **kwargs))
+    merged: dict[bytes, list[int]] = {}
+    for part in result.returns:
+        for word, postings in part.index.items():
+            assert word not in merged
+            merged[word] = postings
+    return merged, result.returns[0].documents
+
+
+class TestInvertedIndex:
+    def test_matches_brute_force(self):
+        merged, _ = run_index()
+        assert merged == brute_force_index()
+
+    def test_doc_table_consistent(self):
+        _, documents = run_index()
+        assert sorted(documents.values()) == sorted(DOCS)
+
+    def test_with_compression(self):
+        merged, _ = run_index(compress=True)
+        assert merged == brute_force_index()
+
+    def test_serial_equals_parallel(self):
+        serial, _ = run_index(nprocs=1)
+        parallel, _ = run_index(nprocs=6)
+        assert serial == parallel
+
+    def test_postings_sorted_unique(self):
+        merged, _ = run_index()
+        for postings in merged.values():
+            assert postings == sorted(set(postings))
+
+    def test_empty_prefix_raises(self):
+        cluster = Cluster(COMET, nprocs=2, memory_limit=None)
+        with pytest.raises(RankFailedError):
+            cluster.run(lambda env: inverted_index_mimir(env, "none/", CFG))
+
+    def test_postings_codec(self):
+        ids = [0, 3, 17, 2 ** 31]
+        assert unpack_postings(pack_postings(ids)) == ids
+        merged = merge_postings(b"w", pack_postings([1, 3]),
+                                pack_postings([2, 3]))
+        assert unpack_postings(merged) == [1, 2, 3]
+
+
+LEFT = [(b"k1", b"a1"), (b"k2", b"a2"), (b"k2", b"a3"), (b"k4", b"a4")]
+RIGHT = [(b"k1", b"b1"), (b"k2", b"b2"), (b"k3", b"b3"), (b"k1", b"b4")]
+
+
+def brute_force_join():
+    rows = []
+    for lk, lv in LEFT:
+        for rk, rv in RIGHT:
+            if lk == rk:
+                rows.append((lk, lv, rv))
+    return sorted(rows)
+
+
+class TestJoin:
+    def run_join(self, nprocs=3):
+        cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+
+        def job(env):
+            rank, size = env.comm.rank, env.comm.size
+            return join_mimir(env, LEFT[rank::size], RIGHT[rank::size],
+                              CFG).rows
+
+        result = cluster.run(job)
+        return sorted(row for part in result.returns for row in part)
+
+    def test_matches_brute_force(self):
+        assert self.run_join() == brute_force_join()
+
+    def test_serial_equals_parallel(self):
+        assert self.run_join(nprocs=1) == self.run_join(nprocs=5)
+
+    def test_unmatched_keys_dropped(self):
+        rows = self.run_join()
+        keys = {k for k, _, _ in rows}
+        assert b"k3" not in keys  # right-only
+        assert b"k4" not in keys  # left-only
+
+    def test_many_to_many(self):
+        rows = self.run_join()
+        k2_rows = [r for r in rows if r[0] == b"k2"]
+        assert len(k2_rows) == 2  # two lefts x one right
+        k1_rows = [r for r in rows if r[0] == b"k1"]
+        assert len(k1_rows) == 2  # one left x two rights
+
+    def test_tagging_roundtrip(self):
+        side, payload = untag_value(tag_value(b"L", b"data"))
+        assert (side, payload) == (b"L", b"data")

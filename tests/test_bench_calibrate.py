@@ -1,0 +1,54 @@
+"""Effective-rate calibration: the orderings the figures depend on."""
+
+import pytest
+
+from repro.bench import BenchScale
+from repro.bench.calibrate import calibrate
+from repro.mpi import COMET, MIRA
+from repro.mpi.platforms import COMET_LOCAL_SSD
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return BenchScale(extra_shift=3)
+
+
+@pytest.fixture(scope="module")
+def comet_report(scale):
+    return calibrate(scale.platform(COMET))
+
+
+@pytest.fixture(scope="module")
+def mira_report(scale):
+    return calibrate(scale.platform(MIRA))
+
+
+class TestCalibration:
+    def test_rates_positive_and_finite(self, comet_report):
+        for rate in (comet_report.shuffle_throughput,
+                     comet_report.spill_write_throughput,
+                     comet_report.spill_read_throughput,
+                     comet_report.wordcount_throughput):
+            assert 0 < rate < float("inf")
+
+    def test_spill_writes_slowest(self, comet_report):
+        """Figure 1's premise: spilling is the worst thing a rank can do."""
+        r = comet_report
+        assert r.spill_write_throughput < r.spill_read_throughput
+        assert r.spill_write_throughput < r.shuffle_throughput / 5
+
+    def test_mira_slower_than_comet(self, comet_report, mira_report):
+        """The BG/Q-like platform is slower across the board."""
+        assert mira_report.wordcount_throughput < \
+            comet_report.wordcount_throughput
+        assert mira_report.shuffle_throughput < \
+            comet_report.shuffle_throughput
+
+    def test_local_ssd_heals_spill_writes(self, scale, comet_report):
+        ssd = calibrate(scale.platform(COMET_LOCAL_SSD))
+        assert ssd.spill_write_throughput > \
+            2 * comet_report.spill_write_throughput
+
+    def test_render(self, comet_report):
+        text = comet_report.render()
+        assert "shuffle" in text and "spill write" in text

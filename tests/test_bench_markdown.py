@@ -1,0 +1,34 @@
+"""Markdown series rendering."""
+
+from repro.bench import RunRecord, Series
+from repro.bench.tables import render_markdown
+
+
+def make_series():
+    s = Series("Demo")
+    s.add(RunRecord("1G", "Mimir", peak_bytes=1 << 20, elapsed=1.5))
+    s.add(RunRecord("1G", "MR-MPI", peak_bytes=2 << 20, elapsed=2.0,
+                    spilled=True))
+    s.add(RunRecord("2G", "Mimir", oom=True))
+    return s
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = render_markdown(make_series())
+        lines = text.splitlines()
+        assert lines[0] == "**Demo**"
+        assert lines[2] == "| size | Mimir | MR-MPI |"
+        assert lines[3] == "|---|---|---|"
+
+    def test_cells(self):
+        text = render_markdown(make_series())
+        assert "1.0M / 1.50s" in text
+        assert "2.00s*" in text
+        assert "OOM" in text
+        assert "—" in text  # missing MR-MPI @ 2G
+
+    def test_time_only(self):
+        text = render_markdown(make_series(), time_only=True)
+        assert "1.50s" in text
+        assert "1.0M" not in text

@@ -1,0 +1,71 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_platforms_defaults(self):
+        args = build_parser().parse_args(["platforms"])
+        assert args.shift == 3
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "wc_uniform", "--size", "2G", "--framework", "mrmpi",
+             "--page", "512M", "--platform", "mira", "--hint"])
+        assert args.app == "wc_uniform"
+        assert args.framework == "mrmpi"
+        assert args.page == "512M"
+        assert args.hint and not args.pr
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "sorting"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_platforms_output(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "comet" in out and "mira" in out
+        assert "write penalty" in out
+
+    def test_run_mimir_small(self, capsys):
+        code = main(["run", "wc_uniform", "--size", "128M", "--shift", "6",
+                     "--nprocs", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "peak memory" in out
+        assert "virtual time" in out
+
+    def test_run_mrmpi_with_options(self, capsys):
+        code = main(["run", "wc_uniform", "--size", "128M", "--shift", "6",
+                     "--nprocs", "4", "--framework", "mrmpi",
+                     "--page", "512M"])
+        assert code == 0
+        assert "mrmpi" in capsys.readouterr().out
+
+    def test_run_count_sized_app(self, capsys):
+        code = main(["run", "bfs", "--size", "2^18", "--shift", "6",
+                     "--nprocs", "4"])
+        assert code == 0
+
+    def test_run_oom_exit_code(self, capsys):
+        code = main(["run", "wc_uniform", "--size", "1T", "--shift", "6",
+                     "--nprocs", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "OUT OF MEMORY" in out
+
+    def test_compare_table(self, capsys):
+        code = main(["compare", "wc_uniform", "--size", "256M",
+                     "--shift", "6", "--nprocs", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Mimir" in out and "MR-MPI (64M)" in out
+        assert "max in-mem" in out

@@ -1,0 +1,133 @@
+"""Cluster harness: env wiring, OOM capture, metrics."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterResult, RankEnv
+from repro.memory import MemoryLimitExceeded
+from repro.mpi import COMET, MIRA, RankFailedError
+
+
+class TestClusterBasics:
+    def test_default_nprocs_is_full_node(self):
+        assert Cluster(COMET).nprocs == 24
+        assert Cluster(MIRA).nprocs == 16
+
+    def test_memory_limit_auto(self):
+        cluster = Cluster(COMET)
+        assert cluster.memory_limit_per_rank == COMET.memory_per_proc
+
+    def test_memory_limit_auto_splits_node_among_ranks(self):
+        cluster = Cluster(MIRA, nprocs=2)
+        assert cluster.memory_limit_per_rank == MIRA.node_memory // 2
+
+    def test_multi_node_pfs_not_contended(self):
+        # One rank per node: each rank gets the full node PFS share.
+        single = Cluster(COMET, nprocs=8, nodes=1)
+        multi = Cluster(COMET, nprocs=8, nodes=8)
+        assert single.pfs.sharers == 8
+        assert multi.pfs.sharers == 1
+
+    def test_memory_limit_override(self):
+        cluster = Cluster(COMET, nprocs=2, memory_limit="1K")
+        assert cluster.memory_limit_per_rank == 1024
+
+    def test_memory_limit_none_unbounded(self):
+        cluster = Cluster(COMET, nprocs=2, memory_limit=None)
+        assert cluster.memory_limit_per_rank is None
+
+    def test_run_returns_per_rank_values(self):
+        cluster = Cluster(COMET, nprocs=4)
+        result = cluster.run(lambda env: env.comm.rank * 2)
+        assert result.returns == [0, 2, 4, 6]
+
+    def test_env_has_all_parts(self):
+        cluster = Cluster(MIRA, nprocs=2)
+
+        def fn(env):
+            assert env.platform is MIRA
+            assert env.tracker.limit == MIRA.node_memory // 2
+            assert env.pfs is cluster.pfs
+            return env.comm.size
+
+        assert cluster.run(fn).returns == [2, 2]
+
+    def test_extra_args_passed(self):
+        cluster = Cluster(COMET, nprocs=2)
+        result = cluster.run(lambda env, a, b: a + b, 3, 4)
+        assert result.returns == [7, 7]
+
+
+class TestMetrics:
+    def test_peak_bytes_per_rank(self):
+        cluster = Cluster(COMET, nprocs=3)
+
+        def fn(env):
+            env.tracker.allocate(100 * (env.comm.rank + 1), "buf")
+            env.tracker.free(100 * (env.comm.rank + 1), "buf")
+
+        result = cluster.run(fn)
+        assert result.peak_bytes == [100, 200, 300]
+        assert result.node_peak_bytes == 600
+        assert result.max_rank_peak_bytes == 300
+
+    def test_elapsed_from_clocks(self):
+        cluster = Cluster(COMET, nprocs=2)
+
+        def fn(env):
+            env.comm.advance(1.5 if env.comm.rank else 0.1)
+
+        assert cluster.run(fn).elapsed == pytest.approx(1.5)
+
+    def test_charge_compute_uses_platform_rate(self):
+        cluster = Cluster(COMET, nprocs=1)
+
+        def fn(env):
+            env.charge_compute(int(COMET.compute_rate))  # exactly 1 second
+            return env.comm.clock.time
+
+        assert cluster.run(fn).returns[0] == pytest.approx(1.0, rel=0.01)
+
+    def test_spilled_bytes_surface(self):
+        cluster = Cluster(COMET, nprocs=1)
+
+        def fn(env):
+            env.pfs.append(env.comm, "spill/x.0", b"z" * 123)
+
+        assert cluster.run(fn).spilled_bytes == 123
+
+
+class TestOOMHandling:
+    def _oom_fn(self, env):
+        env.tracker.allocate(10, "small")
+        if env.comm.rank == 1:
+            env.tracker.allocate(10 ** 12, "huge")
+        env.comm.barrier()
+
+    def test_oom_raises_by_default(self):
+        cluster = Cluster(COMET, nprocs=2)
+        with pytest.raises(RankFailedError) as exc_info:
+            cluster.run(self._oom_fn)
+        assert isinstance(exc_info.value.original, MemoryLimitExceeded)
+
+    def test_allow_oom_returns_result(self):
+        cluster = Cluster(COMET, nprocs=2)
+        result = cluster.run(self._oom_fn, allow_oom=True)
+        assert result.ran_out_of_memory
+        assert result.oom_rank == 1
+        assert result.oom.tag == "huge"
+        assert result.peak_bytes[0] >= 10
+
+    def test_non_oom_error_still_raises_with_allow_oom(self):
+        cluster = Cluster(COMET, nprocs=2)
+
+        def fn(env):
+            raise RuntimeError("unrelated")
+
+        with pytest.raises(RankFailedError):
+            cluster.run(fn, allow_oom=True)
+
+    def test_successful_run_not_flagged(self):
+        cluster = Cluster(COMET, nprocs=2)
+        result = cluster.run(lambda env: None, allow_oom=True)
+        assert not result.ran_out_of_memory
+        assert result.oom is None

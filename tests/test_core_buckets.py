@@ -1,0 +1,133 @@
+"""Accounted hash buckets used by compression / partial reduction / convert."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bucket import AccountedBucket, CountingBucket
+from repro.memory import MemoryLimitExceeded, MemoryTracker
+
+
+class TestAccountedBucket:
+    def test_set_and_get(self):
+        b = AccountedBucket(MemoryTracker())
+        b.set(b"k", b"v")
+        assert b.get(b"k") == b"v"
+        assert b.get(b"missing") is None
+        assert b"k" in b
+        assert len(b) == 1
+
+    def test_insert_charges_tracker(self):
+        t = MemoryTracker()
+        b = AccountedBucket(t, entry_overhead=10)
+        b.set(b"key", b"val")  # 3 + 3 + 10
+        assert t.current == 16
+        assert b.accounted_bytes == 16
+
+    def test_replace_same_size_no_delta(self):
+        t = MemoryTracker()
+        b = AccountedBucket(t, entry_overhead=10)
+        b.set(b"k", b"aa")
+        before = t.current
+        b.set(b"k", b"bb")
+        assert t.current == before
+        assert b.get(b"k") == b"bb"
+
+    def test_replace_grows_and_shrinks(self):
+        t = MemoryTracker()
+        b = AccountedBucket(t, entry_overhead=0)
+        b.set(b"k", b"a")
+        b.set(b"k", b"aaaa")
+        assert t.current == 1 + 4
+        b.set(b"k", b"")
+        assert t.current == 1
+
+    def test_drain_yields_and_frees(self):
+        t = MemoryTracker()
+        b = AccountedBucket(t, entry_overhead=5)
+        b.set(b"a", b"1")
+        b.set(b"b", b"2")
+        items = list(b.drain())
+        assert items == [(b"a", b"1"), (b"b", b"2")]
+        assert t.current == 0
+        assert len(b) == 0
+
+    def test_drain_frees_incrementally(self):
+        t = MemoryTracker()
+        b = AccountedBucket(t, entry_overhead=5)
+        for i in range(10):
+            b.set(b"k%d" % i, b"v")
+        levels = [t.current]
+        for _ in b.drain():
+            levels.append(t.current)
+        assert levels == sorted(levels, reverse=True)
+        assert levels[-1] == 0
+
+    def test_free_releases_all(self):
+        t = MemoryTracker()
+        b = AccountedBucket(t)
+        b.set(b"a", b"1")
+        b.set(b"b", b"2")
+        b.free()
+        assert t.current == 0
+        assert len(b) == 0
+        b.free()  # idempotent
+
+    def test_respects_memory_limit(self):
+        t = MemoryTracker(limit=100)
+        b = AccountedBucket(t, entry_overhead=40)
+        b.set(b"a", b"1")
+        with pytest.raises(MemoryLimitExceeded):
+            b.set(b"bbbbbbbbbb", b"1" * 30)
+
+    def test_insertion_order_preserved(self):
+        b = AccountedBucket(MemoryTracker())
+        for i in (3, 1, 2):
+            b.set(b"%d" % i, b"x")
+        assert [k for k, _ in b.items()] == [b"3", b"1", b"2"]
+
+
+class TestCountingBucket:
+    def test_counts_and_totals(self):
+        cb = CountingBucket(MemoryTracker())
+        cb.add(b"k", 5)
+        cb.add(b"k", 3)
+        cb.add(b"j", 1)
+        data = dict(cb.items())
+        assert data[b"k"] == [2, 8]
+        assert data[b"j"] == [1, 1]
+        assert len(cb) == 2
+
+    def test_only_new_keys_charge(self):
+        t = MemoryTracker()
+        cb = CountingBucket(t, entry_overhead=4)
+        cb.add(b"k", 5)
+        first = t.current
+        assert first == 1 + 4 + 16
+        cb.add(b"k", 100)
+        assert t.current == first
+
+    def test_free(self):
+        t = MemoryTracker()
+        cb = CountingBucket(t)
+        cb.add(b"a", 1)
+        cb.add(b"b", 2)
+        cb.free()
+        assert t.current == 0
+        assert len(cb) == 0
+
+
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=4),
+                          st.binary(max_size=4)), max_size=60))
+def test_property_bucket_matches_dict(pairs):
+    t = MemoryTracker()
+    b = AccountedBucket(t, entry_overhead=7)
+    model = {}
+    for k, v in pairs:
+        b.set(k, v)
+        model[k] = v
+    assert dict(b.items()) == model
+    expected = sum(len(k) + len(v) + 7 for k, v in model.items())
+    assert t.current == expected
+    assert dict(b.drain()) == model
+    assert t.current == 0

@@ -1,0 +1,112 @@
+"""Mimir convenience operations: local sort and gather."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.mpi import COMET, RankFailedError
+
+CFG = MimirConfig(page_size=2048, comm_buffer_size=2048,
+                  input_chunk_size=512)
+TEXT = b"pear apple mango apple kiwi pear fig apple date kiwi " * 15
+
+
+def wc_map(ctx, chunk):
+    for word in chunk.split():
+        ctx.emit(word, pack_u64(1))
+
+
+def make_cluster(nprocs=4):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store("t.txt", TEXT)
+    return cluster
+
+
+class TestSortLocal:
+    def test_sorted_by_key(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            out = mimir.sort_local(kvs)
+            keys = [k for k, _ in out.records()]
+            out.free()
+            return keys
+
+        for keys in make_cluster(3).run(job).returns:
+            assert keys == sorted(keys)
+
+    def test_sorted_by_value(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_items(
+                range(env.comm.rank, 30, env.comm.size),
+                lambda ctx, i: ctx.emit(pack_u64(i), bytes([255 - i % 7])))
+            out = mimir.sort_local(kvs, by_value=True)
+            values = [v for _, v in out.records()]
+            out.free()
+            return values
+
+        for values in make_cluster(2).run(job).returns:
+            assert values == sorted(values)
+
+    def test_multiset_preserved(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            before = Counter(k for k, _ in kvs.records())
+            out = mimir.sort_local(kvs)
+            after = Counter(k for k, _ in out.records())
+            out.free()
+            return before == after
+
+        assert all(make_cluster(2).run(job).returns)
+
+    def test_input_consumed_and_freed(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            out = mimir.sort_local(kvs)
+            out.free()
+            return env.tracker.current
+
+        assert make_cluster(2).run(job).returns == [0, 0]
+
+
+class TestGather:
+    def test_gather_to_one(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            out = mimir.gather(kvs, 1)
+            n = len(out)
+            out.free()
+            return n
+
+        counts = make_cluster(4).run(job).returns
+        assert sorted(counts)[:3] == [0, 0, 0]
+        assert sum(counts) == len(TEXT.split())
+
+    def test_gather_preserves_records(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            out = mimir.gather(kvs, 2)
+            records = Counter(k for k, _ in out.records())
+            out.free()
+            return records
+
+        merged = Counter()
+        for part in make_cluster(4).run(job).returns:
+            merged.update(part)
+        assert merged == Counter(TEXT.split())
+
+    def test_gather_invalid_nranks(self):
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            mimir.gather(kvs, 0)
+
+        with pytest.raises(RankFailedError):
+            make_cluster(2).run(job)

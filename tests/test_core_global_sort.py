@@ -1,0 +1,133 @@
+"""Global sample sort: total order, coverage, splitter logic."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core import Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.core.sort import choose_splitters, range_partitioner
+from repro.mpi import COMET
+
+CFG = MimirConfig(page_size=2048, comm_buffer_size=2048,
+                  input_chunk_size=256)
+
+
+def run_global_sort(items_per_rank, nprocs=4, by_value=False):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+
+    def job(env):
+        mimir = Mimir(env, CFG)
+        items = items_per_rank(env.comm.rank)
+
+        def map_fn(ctx, pair):
+            ctx.emit(pair[0], pair[1])
+
+        # map_items with identity partitioner just loads local data.
+        kvs = mimir.map_items(items, map_fn,
+                              partitioner=lambda k, p: env.comm.rank)
+        out = mimir.global_sort(kvs, by_value=by_value)
+        records = list(out.records())
+        out.free()
+        return records
+
+    return cluster.run(job).returns
+
+
+class TestGlobalSortKeys:
+    def test_total_order_across_ranks(self):
+        def items(rank):
+            return [(b"%03d" % ((rank * 37 + i * 13) % 100), b"v")
+                    for i in range(25)]
+
+        per_rank = run_global_sort(items)
+        # Locally sorted...
+        for records in per_rank:
+            keys = [k for k, _ in records]
+            assert keys == sorted(keys)
+        # ...and globally: concatenation is sorted.
+        all_keys = [k for records in per_rank for k, _ in records]
+        assert all_keys == sorted(all_keys)
+
+    def test_no_records_lost(self):
+        def items(rank):
+            return [(b"%03d" % ((rank * 31 + i) % 50), pack_u64(i))
+                    for i in range(20)]
+
+        per_rank = run_global_sort(items)
+        merged = Counter(k for records in per_rank for k, _ in records)
+        expected = Counter()
+        for rank in range(4):
+            expected.update(k for k, _ in items(rank))
+        assert merged == expected
+
+    def test_empty_ranks_ok(self):
+        def items(rank):
+            return [(b"%d" % i, b"v") for i in range(10)] if rank == 0 \
+                else []
+
+        per_rank = run_global_sort(items)
+        all_keys = [k for records in per_rank for k, _ in records]
+        assert all_keys == sorted(all_keys)
+        assert len(all_keys) == 10
+
+    def test_all_identical_keys(self):
+        per_rank = run_global_sort(lambda rank: [(b"same", b"%d" % rank)] * 5)
+        total = sum(len(records) for records in per_rank)
+        assert total == 20
+
+    def test_serial(self):
+        per_rank = run_global_sort(
+            lambda rank: [(b"%02d" % (9 - i), b"v") for i in range(10)],
+            nprocs=1)
+        assert [k for k, _ in per_rank[0]] == [b"%02d" % i for i in range(10)]
+
+
+class TestGlobalSortValues:
+    def test_sorted_by_value(self):
+        def items(rank):
+            return [(b"k%d" % i, b"%03d" % ((rank * 17 + i * 7) % 60))
+                    for i in range(15)]
+
+        per_rank = run_global_sort(items, by_value=True)
+        all_values = [v for records in per_rank for _, v in records]
+        assert all_values == sorted(all_values)
+
+
+class TestSplitters:
+    def test_count(self):
+        samples = [b"%02d" % i for i in range(40)]
+        assert len(choose_splitters(samples, 4)) == 3
+        assert choose_splitters(samples, 1) == []
+        assert choose_splitters([], 4) == []
+
+    def test_splitters_sorted(self):
+        samples = [b"%02d" % ((i * 7) % 50) for i in range(50)]
+        splitters = choose_splitters(samples, 8)
+        assert splitters == sorted(splitters)
+
+    def test_range_partitioner_monotone(self):
+        partition = range_partitioner([b"b", b"d", b"f"])
+        dests = [partition(k, 4) for k in (b"a", b"b", b"c", b"e", b"z")]
+        assert dests == sorted(dests)
+        assert dests[0] == 0
+        assert dests[-1] == 3
+
+    def test_range_partitioner_clamps(self):
+        partition = range_partitioner([b"m"])
+        assert partition(b"zzz", 2) == 1
+        assert partition(b"a", 2) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=6), min_size=0, max_size=40),
+       st.integers(min_value=1, max_value=4))
+def test_property_global_sort_is_sorted_permutation(keys, nprocs):
+    def items(rank):
+        return [(k, b"v") for k in keys[rank::nprocs]]
+
+    per_rank = run_global_sort(items, nprocs=nprocs)
+    all_keys = [k for records in per_rank for k, _ in records]
+    assert all_keys == sorted(keys)

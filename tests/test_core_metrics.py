@@ -1,0 +1,106 @@
+"""Per-phase profiling."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.core.metrics import PhaseProfile
+from repro.mpi import COMET
+
+CFG = MimirConfig(page_size=2048, comm_buffer_size=2048,
+                  input_chunk_size=512)
+TEXT = b"ash oak elm ash fir oak ash yew " * 25
+
+
+def wc_map(ctx, chunk):
+    for word in chunk.split():
+        ctx.emit(word, pack_u64(1))
+
+
+def wc_reduce(ctx, key, values):
+    ctx.emit(key, pack_u64(sum(unpack_u64(v) for v in values)))
+
+
+def wc_combine(key, a, b):
+    return pack_u64(unpack_u64(a) + unpack_u64(b))
+
+
+def run_profiled(partial=False):
+    cluster = Cluster(COMET, nprocs=2, memory_limit=None)
+    cluster.pfs.store("t.txt", TEXT)
+
+    def job(env):
+        profile = PhaseProfile(env)
+        mimir = Mimir(env, CFG, profile=profile)
+        kvs = mimir.map_text_file("t.txt", wc_map)
+        if partial:
+            out = mimir.partial_reduce(kvs, wc_combine)
+        else:
+            out = mimir.reduce(kvs, wc_reduce)
+        out.free()
+        return [(r.name, r.duration, r.mem_delta, r.peak_so_far)
+                for r in profile.records], profile.by_name(), \
+            profile.dominant_phase(), profile.render()
+
+    return cluster.run(job).returns
+
+
+class TestPhaseProfile:
+    def test_full_pipeline_phases(self):
+        records, by_name, dominant, rendered = run_profiled()[0]
+        assert [name for name, *_ in records] == \
+            ["map+aggregate", "convert+reduce"]
+        assert set(by_name) == {"map+aggregate", "convert+reduce"}
+        assert dominant in by_name
+
+    def test_partial_reduce_phase(self):
+        records, by_name, _, _ = run_profiled(partial=True)[0]
+        assert [name for name, *_ in records] == \
+            ["map+aggregate", "partial_reduce"]
+
+    def test_durations_nonnegative_and_sum(self):
+        records, by_name, _, _ = run_profiled()[0]
+        for _, duration, _, _ in records:
+            assert duration >= 0
+        total = sum(d for _, d, _, _ in records)
+        assert total == pytest.approx(sum(by_name.values()))
+
+    def test_memory_deltas_tracked(self):
+        records, _, _, _ = run_profiled()[0]
+        deltas = {name: delta for name, _, delta, _ in records}
+        # map+aggregate leaves the shuffled KVC resident (positive
+        # delta); convert swaps KVC for KMVC; reduce leaves output.
+        assert deltas["map+aggregate"] > 0
+
+    def test_peak_monotone(self):
+        records, _, _, _ = run_profiled()[0]
+        peaks = [peak for *_, peak in records]
+        assert peaks == sorted(peaks)
+
+    def test_render_contains_phases(self):
+        *_, rendered = run_profiled()[0]
+        assert "map+aggregate" in rendered
+        assert "convert" in rendered
+
+    def test_empty_profile(self):
+        cluster = Cluster(COMET, nprocs=1)
+
+        def job(env):
+            profile = PhaseProfile(env)
+            return profile.total_time(), profile.dominant_phase()
+
+        assert cluster.run(job).returns[0] == (0.0, None)
+
+    def test_phase_records_on_exception(self):
+        cluster = Cluster(COMET, nprocs=1)
+
+        def job(env):
+            profile = PhaseProfile(env)
+            try:
+                with profile.phase("doomed"):
+                    raise ValueError("x")
+            except ValueError:
+                pass
+            return [r.name for r in profile.records]
+
+        assert cluster.run(job).returns[0] == ["doomed"]

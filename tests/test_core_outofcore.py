@@ -1,0 +1,147 @@
+"""Out-of-core Mimir: spill-backed KV containers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.core.kvcontainer import KVContainer
+from repro.memory import MemoryLimitExceeded, MemoryTracker
+from repro.mpi import COMET, RankFailedError
+
+TEXT = (b"maple birch cedar maple alder birch maple spruce cedar pine ") * 60
+EXPECTED = Counter(TEXT.split())
+
+
+def wc_map(ctx, chunk):
+    one = pack_u64(1)
+    for word in chunk.split():
+        ctx.emit(word, one)
+
+
+def wc_combine(key, a, b):
+    return pack_u64(unpack_u64(a) + unpack_u64(b))
+
+
+class TestSpillBackedKVC:
+    def make_env(self, limit=None):
+        cluster = Cluster(COMET, nprocs=1, memory_limit=limit)
+        envs = []
+        cluster.run(lambda env: envs.append(env))
+        return envs[0], cluster
+
+    def test_budget_spills_oldest_pages(self):
+        env, _ = self.make_env()
+        kvc = KVContainer(env.tracker, page_size=128, tag="t",
+                          spill_env=env, resident_page_budget=2)
+        pairs = [(b"key%03d" % i, b"val%03d" % i) for i in range(40)]
+        for k, v in pairs:
+            kvc.add(k, v)
+        assert kvc.npages <= 2
+        assert kvc.spilled
+        assert kvc.spilled_bytes > 0
+        # Order preserved: spilled prefix, then resident suffix.
+        assert list(kvc.records()) == pairs
+        assert list(kvc.consume()) == pairs
+        assert env.tracker.current == 0
+
+    def test_memory_limit_triggers_spill(self):
+        env, cluster = self.make_env(limit=1024)
+        kvc = KVContainer(env.tracker, page_size=256, tag="t",
+                          spill_env=env)
+        for i in range(60):
+            kvc.add(b"k%04d" % i, b"x" * 20)
+        # Never exceeded the limit...
+        assert env.tracker.peak <= 1024
+        # ...by spilling the overflow.
+        assert kvc.spilled
+        assert len(list(kvc.records())) == 60
+        kvc.free()
+        assert not cluster.pfs.listdir("spill/")
+
+    def test_without_spill_env_raises(self):
+        tracker = MemoryTracker(limit=512)
+        kvc = KVContainer(tracker, page_size=256, tag="t")
+        with pytest.raises(MemoryLimitExceeded):
+            for i in range(60):
+                kvc.add(b"k%04d" % i, b"x" * 20)
+
+    def test_records_readable_twice_before_consume(self):
+        env, _ = self.make_env()
+        kvc = KVContainer(env.tracker, page_size=128, tag="t",
+                          spill_env=env, resident_page_budget=1)
+        for i in range(20):
+            kvc.add(b"%02d" % i, b"v")
+        first = list(kvc.records())
+        second = list(kvc.records())
+        assert first == second
+        kvc.free()
+
+    def test_spill_charges_io_time(self):
+        env, _ = self.make_env()
+        t0 = env.comm.clock.time
+        kvc = KVContainer(env.tracker, page_size=128, tag="t",
+                          spill_env=env, resident_page_budget=1)
+        for i in range(30):
+            kvc.add(b"k%03d" % i, b"y" * 16)
+        assert env.comm.clock.time > t0
+        kvc.free()
+
+
+class TestOutOfCoreJobs:
+    #: A budget too small for the in-memory job, enough for ooc.
+    LIMIT = 24 * 1024
+
+    def run_wc(self, out_of_core, partial=True, nprocs=4):
+        config = MimirConfig(page_size=2048, comm_buffer_size=4096,
+                             input_chunk_size=512, out_of_core=out_of_core)
+        cluster = Cluster(COMET, nprocs=nprocs, memory_limit=self.LIMIT)
+        cluster.pfs.store("t.txt", TEXT * 4)
+
+        def job(env):
+            mimir = Mimir(env, config)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            out = mimir.partial_reduce(kvs, wc_combine)
+            counts = {k: unpack_u64(v) for k, v in out.records()}
+            out.free()
+            return counts
+
+        return cluster.run(job, allow_oom=True)
+
+    def test_in_memory_job_ooms_at_this_budget(self):
+        result = self.run_wc(out_of_core=False)
+        assert result.ran_out_of_memory
+
+    def test_out_of_core_job_completes_correctly(self):
+        result = self.run_wc(out_of_core=True)
+        assert not result.ran_out_of_memory
+        merged: Counter = Counter()
+        for part in result.returns:
+            merged.update(part)
+        expected = Counter()
+        for word, count in EXPECTED.items():
+            expected[word] = count * 4
+        assert merged == expected
+        assert result.spilled_bytes > 0
+
+    def test_out_of_core_respects_budget(self):
+        result = self.run_wc(out_of_core=True)
+        assert result.max_rank_peak_bytes <= self.LIMIT
+
+    def test_out_of_core_costs_time(self):
+        # Same job with an ample budget: no spill, faster.
+        config = MimirConfig(page_size=2048, comm_buffer_size=4096,
+                             input_chunk_size=512)
+        cluster = Cluster(COMET, nprocs=4, memory_limit=None)
+        cluster.pfs.store("t.txt", TEXT * 4)
+
+        def job(env):
+            mimir = Mimir(env, config)
+            kvs = mimir.map_text_file("t.txt", wc_map)
+            out = mimir.partial_reduce(kvs, wc_combine)
+            out.free()
+
+        fast = cluster.run(job)
+        slow = self.run_wc(out_of_core=True)
+        assert slow.elapsed > fast.elapsed

@@ -1,0 +1,118 @@
+"""encode_into: the zero-staging-copy encoder matches encode()."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CSTRING, KVLayout
+
+
+LAYOUTS = [
+    KVLayout(),
+    KVLayout(key_len=CSTRING, val_len=8),
+    KVLayout(key_len=4, val_len=8),
+    KVLayout(key_len=CSTRING, val_len=CSTRING),
+    KVLayout(key_len=None, val_len=6),
+    KVLayout(key_len=3, val_len=None),
+]
+
+
+def fit(layout, key, value):
+    """Coerce random bytes to satisfy the layout's constraints."""
+    if isinstance(layout.key_len, int) and layout.key_len > 0:
+        key = (key * layout.key_len)[: layout.key_len].ljust(
+            layout.key_len, b"k")
+    if layout.key_len == CSTRING:
+        key = key.replace(b"\0", b"x")
+    if isinstance(layout.val_len, int) and layout.val_len > 0:
+        value = (value * layout.val_len)[: layout.val_len].ljust(
+            layout.val_len, b"v")
+    if layout.val_len == CSTRING:
+        value = value.replace(b"\0", b"y")
+    return key, value
+
+
+class TestEncodeInto:
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_matches_encode(self, layout):
+        key, value = fit(layout, b"hello", b"world!")
+        expected = layout.encode(key, value)
+        buf = bytearray(64)
+        end = layout.encode_into(buf, 0, key, value)
+        assert bytes(buf[:end]) == expected
+        assert end == layout.encoded_size(key, value)
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_offset_respected(self, layout):
+        key, value = fit(layout, b"abc", b"defg")
+        buf = bytearray(b"\xee" * 64)
+        end = layout.encode_into(buf, 10, key, value)
+        assert bytes(buf[:10]) == b"\xee" * 10  # prefix untouched
+        assert bytes(buf[10:end]) == layout.encode(key, value)
+
+    def test_validation_still_applies(self):
+        layout = KVLayout(key_len=4)
+        with pytest.raises(ValueError):
+            layout.encode_into(bytearray(32), 0, b"toolong", b"v")
+        layout2 = KVLayout(key_len=CSTRING)
+        with pytest.raises(ValueError):
+            layout2.encode_into(bytearray(32), 0, b"a\0b", b"v")
+
+    def test_back_to_back_records_decode(self):
+        layout = KVLayout()
+        buf = bytearray(256)
+        pairs = [(b"a", b"1"), (b"bb", b"22"), (b"", b"")]
+        offset = 0
+        for key, value in pairs:
+            offset = layout.encode_into(buf, offset, key, value)
+        assert list(layout.iter_records(bytes(buf[:offset]))) == pairs
+
+
+@given(st.binary(max_size=20), st.binary(max_size=20),
+       st.integers(min_value=0, max_value=16))
+def test_property_encode_into_equals_encode(key, value, offset):
+    layout = KVLayout()
+    buf = bytearray(offset + layout.encoded_size(key, value))
+    end = layout.encode_into(buf, offset, key, value)
+    assert bytes(buf[offset:end]) == layout.encode(key, value)
+
+
+class TestMRMPIAdd:
+    def test_add_concatenates(self):
+        from repro.cluster import Cluster
+        from repro.mpi import COMET
+        from repro.mrmpi import MRMPI, MRMPIConfig
+
+        cluster = Cluster(COMET, nprocs=2, memory_limit=None)
+        cfg = MRMPIConfig(page_size=8192)
+
+        def job(env):
+            a = MRMPI(env, cfg)
+            a.map_items([1, 2], lambda ctx, i: ctx.emit(b"a%d" % i, b"x"))
+            b = MRMPI(env, cfg)
+            b.map_items([3], lambda ctx, i: ctx.emit(b"b%d" % i, b"y"))
+            a.add(b)
+            keys = [k for k, _ in a.collect()]
+            a.free()
+            b.free()
+            return keys
+
+        result = cluster.run(job)
+        assert result.returns[0] == [b"a1", b"a2", b"b3"]
+
+    def test_add_kv_without_map(self):
+        from repro.cluster import Cluster
+        from repro.mpi import COMET
+        from repro.mrmpi import MRMPI, MRMPIConfig
+
+        cluster = Cluster(COMET, nprocs=1, memory_limit=None)
+
+        def job(env):
+            mr = MRMPI(env, MRMPIConfig(page_size=4096))
+            mr.add_kv(b"k", b"v")
+            mr.add_kv(b"k2", b"v2")
+            pairs = mr.collect()
+            mr.free()
+            return pairs
+
+        assert cluster.run(job).returns[0] == [(b"k", b"v"), (b"k2", b"v2")]

@@ -1,0 +1,133 @@
+"""Shuffler in isolation: partitions, rounds, buffers, routing."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import KVContainer, MimirConfig, RecordTooLargeError
+from repro.core.shuffle import Shuffler, default_partitioner
+from repro.mpi import COMET, RankFailedError
+
+CFG = MimirConfig(page_size=1024, comm_buffer_size=512)
+
+
+def run_shuffle(nprocs, emit_fn, config=CFG, partitioner=None):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+
+    def job(env):
+        out = KVContainer(env.tracker, config.layout, config.page_size)
+        shuffler = Shuffler(env, config, out, partitioner)
+        emit_fn(env, shuffler)
+        shuffler.finish()
+        stats = (shuffler.rounds, shuffler.records_sent,
+                 shuffler.bytes_sent, env.tracker.current)
+        records = list(out.records())
+        out.free()
+        return records, stats
+
+    return cluster.run(job).returns
+
+
+class TestPartitionSizing:
+    def test_partition_is_buffer_over_nprocs(self):
+        assert CFG.partition_size(4) == 128
+        assert CFG.partition_size(1) == 512
+
+    def test_record_bigger_than_partition_rejected(self):
+        def emit(env, shuffler):
+            shuffler.emit(b"k" * 200, b"v")  # > 128B partition
+
+        with pytest.raises(RankFailedError) as exc_info:
+            run_shuffle(4, emit)
+        assert isinstance(exc_info.value.original, RecordTooLargeError)
+
+    def test_comm_buffers_freed_on_finish(self):
+        def emit(env, shuffler):
+            shuffler.emit(b"k", b"v")
+
+        for _records, (_r, _n, _b, leftover_minus_pages) in \
+                run_shuffle(2, emit):
+            pass  # leftover checked below via tracker snapshot
+
+        cluster = Cluster(COMET, nprocs=2, memory_limit=None)
+
+        def job(env):
+            out = KVContainer(env.tracker, CFG.layout, CFG.page_size)
+            shuffler = Shuffler(env, CFG, out, None)
+            shuffler.emit(b"k", b"v")
+            shuffler.finish()
+            held = env.tracker.usage_by_tag()
+            out.free()
+            return held
+
+        for held in cluster.run(job).returns:
+            assert "send_buffer" not in held
+            assert "recv_buffer" not in held
+
+
+class TestRounds:
+    def test_single_round_for_small_data(self):
+        def emit(env, shuffler):
+            if env.comm.rank == 0:
+                shuffler.emit(b"a", b"1")
+
+        results = run_shuffle(2, emit)
+        rounds = {stats[0] for _, stats in results}
+        assert rounds == {1}
+
+    def test_full_partition_forces_extra_rounds(self):
+        def emit(env, shuffler):
+            for i in range(100):  # ~17B x 100 per dest >> 128B partition
+                shuffler.emit(b"k%02d" % (i % 10), b"v")
+
+        results = run_shuffle(4, emit)
+        for _, (rounds, sent, _bytes, _cur) in results:
+            assert rounds > 1
+            assert sent == 100
+
+    def test_all_ranks_same_round_count(self):
+        def emit(env, shuffler):
+            # Only rank 0 emits a lot; everyone must follow its rounds.
+            n = 200 if env.comm.rank == 0 else 1
+            for i in range(n):
+                shuffler.emit(b"x%03d" % i, b"y")
+
+        results = run_shuffle(3, emit)
+        assert len({stats[0] for _, stats in results}) == 1
+
+
+class TestRouting:
+    def test_default_partitioner_consistency(self):
+        assert default_partitioner(b"word", 7) == \
+            default_partitioner(b"word", 7)
+        assert 0 <= default_partitioner(b"anything", 5) < 5
+
+    def test_records_arrive_at_hash_owner(self):
+        def emit(env, shuffler):
+            for i in range(40):
+                shuffler.emit(b"key%02d" % i, bytes([env.comm.rank]))
+
+        results = run_shuffle(4, emit)
+        for rank, (records, _stats) in enumerate(results):
+            for key, _value in records:
+                assert default_partitioner(key, 4) == rank
+
+    def test_custom_partitioner_routes_everything_to_zero(self):
+        def emit(env, shuffler):
+            shuffler.emit(b"k%d" % env.comm.rank, b"v")
+
+        results = run_shuffle(3, emit, partitioner=lambda k, p: 0)
+        counts = [len(records) for records, _ in results]
+        assert counts == [3, 0, 0]
+
+    def test_multiset_preserved_end_to_end(self):
+        def emit(env, shuffler):
+            for i in range(30):
+                shuffler.emit(b"w%02d" % ((i + env.comm.rank) % 9), b"v")
+
+        results = run_shuffle(5, emit)
+        merged = Counter()
+        for records, _ in results:
+            merged.update(k for k, _ in records)
+        assert sum(merged.values()) == 5 * 30

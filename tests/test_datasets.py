@@ -1,0 +1,159 @@
+"""Dataset generators: determinism, sizes, distribution shape."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    EDGE_RECORD_SIZE,
+    POINT_RECORD_SIZE,
+    edges_to_bytes,
+    kronecker_edges,
+    normal_points,
+    points_to_bytes,
+    uniform_text,
+    zipf_text,
+)
+from repro.datasets.graph500 import bytes_to_edges
+from repro.datasets.points import bytes_to_points
+
+
+class TestUniformText:
+    def test_size_close_to_requested(self):
+        data = uniform_text(10_000, vocab_size=256, seed=1)
+        assert 0.9 * 10_000 <= len(data) <= 10_000
+
+    def test_deterministic(self):
+        assert uniform_text(5000, seed=7) == uniform_text(5000, seed=7)
+
+    def test_seed_changes_output(self):
+        assert uniform_text(5000, seed=1) != uniform_text(5000, seed=2)
+
+    def test_words_have_fixed_length(self):
+        data = uniform_text(5000, word_len=6, vocab_size=128, seed=0)
+        words = data.split()
+        assert words
+        assert all(len(w) == 6 for w in words)
+
+    def test_vocab_bounded(self):
+        data = uniform_text(50_000, vocab_size=64, seed=0)
+        assert len(set(data.split())) <= 64
+
+    def test_roughly_uniform(self):
+        data = uniform_text(200_000, vocab_size=32, word_len=6, seed=3)
+        words = data.split()
+        counts = np.array([words.count(w) for w in set(words)])
+        assert counts.max() < 2.0 * counts.min()
+
+    def test_zero_bytes(self):
+        assert uniform_text(0) == b""
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_text(100, vocab_size=0)
+        with pytest.raises(ValueError):
+            uniform_text(100, word_len=0)
+
+
+class TestZipfText:
+    def test_size_close_to_requested(self):
+        data = zipf_text(20_000, vocab_size=512, seed=1)
+        assert 0.8 * 20_000 <= len(data) <= 20_000
+
+    def test_deterministic(self):
+        assert zipf_text(5000, seed=9) == zipf_text(5000, seed=9)
+
+    def test_skewed_distribution(self):
+        data = zipf_text(100_000, vocab_size=1024, seed=2)
+        words = data.split()
+        unique, counts = np.unique(np.array(words, dtype=object),
+                                   return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Top word dominates: far above the median (heavy head).
+        assert counts[0] > 10 * np.median(counts)
+
+    def test_variable_word_lengths(self):
+        data = zipf_text(50_000, vocab_size=1024, seed=2)
+        lengths = {len(w) for w in data.split()}
+        assert len(lengths) >= 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_text(100, vocab_size=0)
+        with pytest.raises(ValueError):
+            zipf_text(100, min_len=5, max_len=3)
+
+
+class TestPoints:
+    def test_shape_and_dtype(self):
+        pts = normal_points(1000, seed=0)
+        assert pts.shape == (1000, 3)
+        assert pts.dtype == np.dtype("<f4")
+
+    def test_within_unit_cube(self):
+        pts = normal_points(5000, seed=1)
+        assert pts.min() >= 0.0
+        assert pts.max() < 1.0
+
+    def test_distribution_center(self):
+        pts = normal_points(20_000, seed=2)
+        assert abs(float(pts.mean()) - 0.5) < 0.05
+
+    def test_deterministic(self):
+        assert np.array_equal(normal_points(100, seed=5),
+                              normal_points(100, seed=5))
+
+    def test_serialisation_roundtrip(self):
+        pts = normal_points(257, seed=3)
+        data = points_to_bytes(pts)
+        assert len(data) == 257 * POINT_RECORD_SIZE
+        assert np.array_equal(bytes_to_points(data), pts)
+
+    def test_zero_points(self):
+        assert normal_points(0).shape == (0, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            normal_points(-1)
+        with pytest.raises(ValueError):
+            bytes_to_points(b"x" * 13)
+
+
+class TestKronecker:
+    def test_edge_count(self):
+        edges = kronecker_edges(scale=8, edgefactor=32, seed=0)
+        assert edges.shape == (32 * 256, 2)
+
+    def test_vertex_ids_in_range(self):
+        edges = kronecker_edges(scale=7, seed=1)
+        assert edges.max() < 128
+
+    def test_deterministic(self):
+        assert np.array_equal(kronecker_edges(6, seed=4),
+                              kronecker_edges(6, seed=4))
+
+    def test_skewed_degrees(self):
+        edges = kronecker_edges(scale=10, edgefactor=32, seed=2)
+        degrees = np.bincount(edges.reshape(-1).astype(np.int64),
+                              minlength=1024)
+        connected = degrees[degrees > 0]
+        # Scale-free: max degree far above the median degree.
+        assert connected.max() > 8 * np.median(connected)
+
+    def test_average_degree_32(self):
+        scale = 9
+        edges = kronecker_edges(scale=scale, edgefactor=32, seed=3)
+        assert len(edges) / (1 << scale) == 32
+
+    def test_serialisation_roundtrip(self):
+        edges = kronecker_edges(5, seed=6)
+        data = edges_to_bytes(edges)
+        assert len(data) == len(edges) * EDGE_RECORD_SIZE
+        assert np.array_equal(bytes_to_edges(data), edges)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kronecker_edges(-1)
+        with pytest.raises(ValueError):
+            kronecker_edges(4, edgefactor=0)
+        with pytest.raises(ValueError):
+            kronecker_edges(4, a=0.6, b=0.3, c=0.2)

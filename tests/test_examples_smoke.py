@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run and their assertions hold.
+
+Examples are documentation that executes; running the fast ones in the
+suite keeps them from rotting as the API evolves.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "word counts:" in out
+        assert "peak node memory" in out
+
+    def test_terasort(self, capsys):
+        out = run_example("terasort_global.py", capsys)
+        assert "validation      : PASS" in out
+
+    def test_wordcount_cluster(self, capsys):
+        out = run_example("wordcount_cluster.py", capsys)
+        assert "MR-MPI" in out
+        assert "Mimir (hint+pr+cps)" in out
+
+    def test_fault_tolerant_wordcount(self, capsys):
+        out = run_example("fault_tolerant_wordcount.py", capsys)
+        assert "1 restart(s)" in out
+
+    def test_octree_clustering(self, capsys):
+        out = run_example("octree_clustering.py", capsys)
+        assert "dense octant" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 9
+        for script in scripts:
+            source = script.read_text()
+            assert source.startswith("#!"), script.name
+            assert '"""' in source, script.name
+            assert '__name__ == "__main__"' in source, script.name

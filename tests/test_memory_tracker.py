@@ -1,0 +1,172 @@
+"""MemoryTracker accounting, limits, and timeline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import MemoryLimitExceeded, MemoryTracker
+
+
+class TestBasicAccounting:
+    def test_starts_empty(self):
+        t = MemoryTracker()
+        assert t.current == 0
+        assert t.peak == 0
+
+    def test_allocate_increases_current_and_peak(self):
+        t = MemoryTracker()
+        t.allocate(100, "a")
+        assert t.current == 100
+        assert t.peak == 100
+
+    def test_free_decreases_current_not_peak(self):
+        t = MemoryTracker()
+        t.allocate(100, "a")
+        t.free(40, "a")
+        assert t.current == 60
+        assert t.peak == 100
+
+    def test_peak_tracks_high_watermark(self):
+        t = MemoryTracker()
+        t.allocate(100, "a")
+        t.free(100, "a")
+        t.allocate(50, "b")
+        assert t.peak == 100
+        t.allocate(80, "b")
+        assert t.peak == 130
+
+    def test_usage_by_tag(self):
+        t = MemoryTracker()
+        t.allocate(100, "pages")
+        t.allocate(30, "comm")
+        t.free(20, "pages")
+        assert t.usage_by_tag() == {"pages": 80, "comm": 30}
+
+    def test_tag_removed_when_fully_freed(self):
+        t = MemoryTracker()
+        t.allocate(10, "x")
+        t.free(10, "x")
+        assert "x" not in t.usage_by_tag()
+
+    def test_zero_allocation_ok(self):
+        t = MemoryTracker()
+        t.allocate(0, "z")
+        assert t.current == 0
+
+
+class TestLimit:
+    def test_limit_enforced(self):
+        t = MemoryTracker(limit=100)
+        t.allocate(80, "a")
+        with pytest.raises(MemoryLimitExceeded):
+            t.allocate(21, "b")
+
+    def test_limit_boundary_exact_fit(self):
+        t = MemoryTracker(limit=100)
+        t.allocate(100, "a")  # exactly at the limit is fine
+        assert t.current == 100
+
+    def test_failed_allocation_changes_nothing(self):
+        t = MemoryTracker(limit=100)
+        t.allocate(90, "a")
+        with pytest.raises(MemoryLimitExceeded):
+            t.allocate(50, "b")
+        assert t.current == 90
+        assert t.usage_by_tag() == {"a": 90}
+
+    def test_limit_parse_string(self):
+        t = MemoryTracker(limit="1K")
+        assert t.limit == 1024
+
+    def test_exception_carries_context(self):
+        t = MemoryTracker(limit=100)
+        t.allocate(60, "pages")
+        with pytest.raises(MemoryLimitExceeded) as exc_info:
+            t.allocate(50, "bucket")
+        err = exc_info.value
+        assert err.tag == "bucket"
+        assert err.requested == 50
+        assert err.current == 60
+        assert err.limit == 100
+        assert err.by_tag == {"pages": 60}
+
+    def test_would_fit(self):
+        t = MemoryTracker(limit=100)
+        t.allocate(60, "a")
+        assert t.would_fit(40)
+        assert not t.would_fit(41)
+
+    def test_available(self):
+        t = MemoryTracker(limit=100)
+        t.allocate(30, "a")
+        assert t.available == 70
+        assert MemoryTracker().available is None
+
+
+class TestErrors:
+    def test_negative_allocate_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().allocate(-1, "a")
+
+    def test_negative_free_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().free(-1, "a")
+
+    def test_overfree_rejected(self):
+        t = MemoryTracker()
+        t.allocate(10, "a")
+        with pytest.raises(ValueError):
+            t.free(11, "a")
+
+    def test_free_wrong_tag_rejected(self):
+        t = MemoryTracker()
+        t.allocate(10, "a")
+        with pytest.raises(ValueError):
+            t.free(5, "b")
+
+
+class TestTimeline:
+    def test_timeline_disabled_by_default(self):
+        t = MemoryTracker()
+        t.allocate(10, "a")
+        assert t.timeline == []
+
+    def test_timeline_records_samples(self):
+        t = MemoryTracker(keep_timeline=True)
+        t.allocate(10, "a")
+        t.free(4, "a")
+        assert [(s.tag, s.delta, s.current) for s in t.timeline] == [
+            ("a", 10, 10), ("a", -4, 6)]
+
+    def test_reset_peak(self):
+        t = MemoryTracker()
+        t.allocate(100, "a")
+        t.free(80, "a")
+        t.reset_peak()
+        assert t.peak == 20
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+def test_property_alloc_free_balances(sizes):
+    t = MemoryTracker()
+    for n in sizes:
+        t.allocate(n, "t")
+    assert t.current == sum(sizes)
+    assert t.peak == sum(sizes)
+    for n in sizes:
+        t.free(n, "t")
+    assert t.current == 0
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.integers(min_value=0, max_value=100)),
+                max_size=60))
+def test_property_peak_is_max_of_prefix_sums(events):
+    t = MemoryTracker()
+    running, best = 0, 0
+    for tag, n in events:
+        t.allocate(n, tag)
+        running += n
+        best = max(best, running)
+    assert t.peak == best
+    assert t.current == running

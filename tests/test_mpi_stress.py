@@ -1,0 +1,71 @@
+"""Stress: many ranks, deep collective sequences, large payloads."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.mpi import COMET, World
+
+
+class TestManyRanks:
+    def test_32_ranks_collectives(self):
+        def fn(comm):
+            total = comm.allsum(comm.rank)
+            comm.barrier()
+            gathered = comm.allgather(comm.rank)
+            return total, len(gathered)
+
+        result = World(32).run(fn)
+        expected = sum(range(32))
+        assert all(r == (expected, 32) for r in result.returns)
+
+    def test_deep_collective_sequence(self):
+        def fn(comm):
+            acc = 0
+            for i in range(200):
+                acc = comm.allreduce(acc + 1) % 100003
+            return acc
+
+        result = World(8).run(fn)
+        assert len(set(result.returns)) == 1
+
+    def test_large_alltoallv_payloads(self):
+        def fn(comm):
+            sends = [bytes([comm.rank]) * 50_000
+                     for _ in range(comm.size)]
+            received = comm.alltoallv(sends)
+            return [len(part) for part in received]
+
+        result = World(4).run(fn)
+        assert all(lengths == [50_000] * 4 for lengths in result.returns)
+
+    def test_wordcount_on_32_ranks(self):
+        cluster = Cluster(COMET, nprocs=32, memory_limit=None)
+        cluster.pfs.store("t.txt", b"x y z w " * 500)
+        config = MimirConfig(page_size=2048, comm_buffer_size=4096,
+                             input_chunk_size=256)
+
+        def job(env):
+            mimir = Mimir(env, config)
+            kvs = mimir.map_text_file(
+                "t.txt", lambda ctx, chunk: [
+                    ctx.emit(w, pack_u64(1)) for w in chunk.split()])
+            out = mimir.partial_reduce(
+                kvs, lambda k, a, b: pack_u64(unpack_u64(a) +
+                                              unpack_u64(b)))
+            total = sum(unpack_u64(v) for _, v in out.records())
+            out.free()
+            return total
+
+        result = cluster.run(job)
+        assert sum(result.returns) == 2000
+
+    def test_repeated_worlds_do_not_leak(self):
+        # Thirty consecutive worlds: threads and engines must clean up.
+        import threading
+
+        before = threading.active_count()
+        for _ in range(30):
+            World(4).run(lambda comm: comm.allsum(1))
+        after = threading.active_count()
+        assert after <= before + 2

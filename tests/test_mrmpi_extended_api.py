@@ -1,0 +1,201 @@
+"""Extended MR-MPI API: collate, scan, gather, broadcast, sort."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import pack_u64, unpack_u64
+from repro.mpi import COMET, RankFailedError
+from repro.mrmpi import MRMPI, MRMPIConfig
+
+CFG = MRMPIConfig(page_size=32 * 1024, input_chunk_size=512)
+TINY = MRMPIConfig(page_size=256, input_chunk_size=128)
+TEXT = (b"ant bee cat dog elk fox gnu hen ibis jay ant bee cat ant ") * 20
+EXPECTED = Counter(TEXT.split())
+
+
+def wc_map(ctx, chunk):
+    one = pack_u64(1)
+    for word in chunk.split():
+        ctx.emit(word, one)
+
+
+def wc_reduce(ctx, key, values):
+    ctx.emit(key, pack_u64(sum(unpack_u64(v) for v in values)))
+
+
+def make_cluster(nprocs=4):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store("t.txt", TEXT)
+    return cluster
+
+
+class TestCollate:
+    def test_collate_equals_aggregate_convert(self):
+        def job(env, use_collate):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            if use_collate:
+                mr.collate()
+            else:
+                mr.aggregate()
+                mr.convert()
+            mr.reduce(wc_reduce)
+            counts = {k: unpack_u64(v) for k, v in mr.collect()}
+            mr.free()
+            return counts
+
+        a = make_cluster().run(job, True)
+        b = make_cluster().run(job, False)
+        assert a.returns == b.returns
+
+
+class TestScan:
+    def test_scan_visits_every_kv(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            seen = []
+            mr.scan(lambda k, v: seen.append(k))
+            n_records = len(mr.kv)
+            mr.free()
+            return len(seen), n_records
+
+        for visited, total in make_cluster().run(job).returns:
+            assert visited == total > 0
+
+    def test_scan_kmv(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            mr.collate()
+            groups = {}
+            mr.scan_kmv(lambda k, vs: groups.__setitem__(k, len(vs)))
+            mr.free()
+            return groups
+
+        merged = {}
+        for groups in make_cluster().run(job).returns:
+            merged.update(groups)
+        assert merged == dict(EXPECTED)
+
+    def test_scan_requires_kv(self):
+        def job(env):
+            MRMPI(env, CFG).scan(lambda k, v: None)
+
+        with pytest.raises(RankFailedError):
+            make_cluster(1).run(job)
+
+
+class TestGather:
+    def test_gather_to_one_rank(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            mr.gather(1)
+            pairs = mr.collect()
+            mr.free()
+            return len(pairs)
+
+        counts = make_cluster(4).run(job).returns
+        total = sum(EXPECTED.values())
+        assert sorted(counts) == [0, 0, 0, total]
+
+    def test_gather_preserves_multiset(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            mr.gather(2)
+            keys = [k for k, _ in mr.collect()]
+            mr.free()
+            return keys
+
+        result = make_cluster(4).run(job)
+        merged = Counter()
+        for keys in result.returns:
+            merged.update(keys)
+        assert merged == EXPECTED
+        assert not result.returns[2] and not result.returns[3]
+
+    def test_gather_invalid_nranks(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            mr.gather(99)
+
+        with pytest.raises(RankFailedError):
+            make_cluster(2).run(job)
+
+
+class TestBroadcast:
+    def test_broadcast_replicates_root(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_items(
+                range(5) if env.comm.rank == 0 else [],
+                lambda ctx, i: ctx.emit(b"k%d" % i, pack_u64(i)))
+            mr.broadcast_kvs(root=0)
+            pairs = mr.collect()
+            mr.free()
+            return pairs
+
+        result = make_cluster(3).run(job)
+        expected = [(b"k%d" % i, pack_u64(i)) for i in range(5)]
+        assert result.returns == [expected] * 3
+
+
+class TestSort:
+    def test_sort_keys_in_memory(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            mr.sort_keys()
+            keys = [k for k, _ in mr.collect()]
+            mr.free()
+            return keys
+
+        for keys in make_cluster(3).run(job).returns:
+            assert keys == sorted(keys)
+
+    def test_sort_keys_out_of_core(self):
+        def job(env):
+            mr = MRMPI(env, TINY)
+            mr.map_text_file("t.txt", wc_map)
+            assert mr.kv.spilled  # force the external-sort path
+            mr.sort_keys()
+            keys = [k for k, _ in mr.collect()]
+            mr.free()
+            return keys
+
+        result = make_cluster(2).run(job)
+        merged = Counter()
+        for keys in result.returns:
+            assert keys == sorted(keys)
+            merged.update(keys)
+        assert merged == EXPECTED
+
+    def test_sort_values(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_items(range(20),
+                         lambda ctx, i: ctx.emit(b"k", pack_u64(97 * i % 20)))
+            mr.sort_values()
+            values = [unpack_u64(v) for _, v in mr.collect()]
+            mr.free()
+            return values
+
+        result = make_cluster(1).run(job)
+        assert result.returns[0] == sorted(range(20))
+
+    def test_sort_preserves_pairs(self):
+        def job(env):
+            mr = MRMPI(env, CFG)
+            mr.map_text_file("t.txt", wc_map)
+            before = Counter(k for k, _ in mr.collect())
+            mr.sort_keys()
+            after = Counter(k for k, _ in mr.collect())
+            mr.free()
+            return before == after
+
+        assert all(make_cluster(2).run(job).returns)

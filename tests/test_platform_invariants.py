@@ -1,0 +1,87 @@
+"""Platform constants must keep the relationships the figures rely on."""
+
+import pytest
+
+from repro.mpi.platforms import (
+    COMET,
+    COMET_LOCAL_SSD,
+    MIRA,
+    PLATFORMS,
+    SCALE,
+    scaled,
+)
+
+
+class TestPaperQuotedValues:
+    def test_node_shapes(self):
+        assert COMET.procs_per_node == 24       # 2 x 12-core Xeon
+        assert MIRA.procs_per_node == 16        # 16 A2 cores
+        assert COMET.node_memory == scaled("128G")
+        assert MIRA.node_memory == scaled("16G")
+
+    def test_page_sizes(self):
+        for platform in PLATFORMS.values():
+            assert platform.default_page_size == scaled("64M")
+        assert COMET.max_page_size == scaled("512M")
+        assert MIRA.max_page_size == scaled("128M")
+
+    def test_max_page_complement_fits_per_proc(self):
+        # The paper's "maximum possible page sizes": 7 pages of the max
+        # page must fit in one process's share of the node.
+        for platform in (COMET, MIRA):
+            assert 7 * platform.max_page_size <= platform.memory_per_proc
+        # ...and one page size up would not (which is why it's the max).
+        for platform in (COMET, MIRA):
+            assert 7 * platform.max_page_size * 2 > platform.memory_per_proc
+
+
+class TestRateRelationships:
+    def test_network_beats_pfs_everywhere(self):
+        for platform in (COMET, MIRA):
+            assert platform.network.bandwidth > \
+                platform.pfs.effective_bandwidth
+
+    def test_spill_writes_are_the_bottleneck(self):
+        for platform in (COMET, MIRA):
+            assert platform.pfs.effective_write_bandwidth < \
+                platform.pfs.effective_bandwidth
+
+    def test_mira_slower_than_comet(self):
+        assert MIRA.compute_rate < COMET.compute_rate
+        assert MIRA.network.bandwidth < COMET.network.bandwidth
+        assert MIRA.pfs.effective_bandwidth < COMET.pfs.effective_bandwidth
+
+    def test_ssd_variant_differs_only_in_storage(self):
+        assert COMET_LOCAL_SSD.procs_per_node == COMET.procs_per_node
+        assert COMET_LOCAL_SSD.node_memory == COMET.node_memory
+        assert COMET_LOCAL_SSD.network == COMET.network
+        assert COMET_LOCAL_SSD.pfs.write_penalty < COMET.pfs.write_penalty
+        assert COMET_LOCAL_SSD.pfs.latency < COMET.pfs.latency
+
+
+class TestRescaling:
+    @pytest.mark.parametrize("shift", [0, 1, 4])
+    def test_ratios_invariant(self, shift):
+        for base in (COMET, MIRA):
+            p = base.rescaled(shift)
+            assert p.node_memory * (1 << shift) == base.node_memory
+            # Memory-to-page ratio preserved exactly.
+            assert p.node_memory // p.default_page_size == \
+                base.node_memory // base.default_page_size
+            # Rate ratios preserved (to float precision).
+            assert p.compute_rate / p.pfs.effective_bandwidth == \
+                pytest.approx(base.compute_rate /
+                              base.pfs.effective_bandwidth)
+            assert p.network.bandwidth / p.compute_rate == \
+                pytest.approx(base.network.bandwidth / base.compute_rate)
+
+    def test_shift_zero_is_identity(self):
+        assert COMET.rescaled(0) is COMET
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            COMET.rescaled(-1)
+
+    def test_global_scale_is_1024(self):
+        assert SCALE == 1024
+        assert scaled("1M") == 1024

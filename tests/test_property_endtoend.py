@@ -1,0 +1,140 @@
+"""End-to-end differential property tests.
+
+Hypothesis drives randomly generated inputs through complete jobs and
+checks the frameworks against each other and against independent
+reference implementations - the strongest correctness evidence in the
+suite.
+"""
+
+from collections import Counter
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.components import components_mimir
+from repro.apps.wordcount import wordcount_mimir, wordcount_mrmpi
+from repro.cluster import Cluster
+from repro.core import CSTRING, KVLayout, Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.datasets import edges_to_bytes
+from repro.mpi import COMET
+from repro.mrmpi import MRMPIConfig
+
+MIMIR_CFG = MimirConfig(page_size=1024, comm_buffer_size=1024,
+                        input_chunk_size=128)
+MRMPI_CFG = MRMPIConfig(page_size=8192, input_chunk_size=128)
+
+words = st.text(alphabet="abcdef", min_size=1, max_size=5)
+corpora = st.lists(words, min_size=0, max_size=80).map(
+    lambda ws: " ".join(ws).encode())
+
+
+def _merge_counts(parts):
+    merged: Counter = Counter()
+    for part in parts:
+        for word, count in part.counts.items():
+            assert word not in merged
+            merged[word] = count
+    return merged
+
+
+@settings(max_examples=20, deadline=None)
+@given(corpora, st.integers(min_value=1, max_value=4))
+def test_wordcount_frameworks_agree_with_truth(corpus, nprocs):
+    truth = Counter(corpus.split())
+
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store("c.txt", corpus)
+    mimir_counts = _merge_counts(cluster.run(
+        lambda env: wordcount_mimir(env, "c.txt", MIMIR_CFG,
+                                    collect=True)).returns)
+
+    cluster2 = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster2.pfs.store("c.txt", corpus)
+    mrmpi_counts = _merge_counts(cluster2.run(
+        lambda env: wordcount_mrmpi(env, "c.txt", MRMPI_CFG,
+                                    collect=True)).returns)
+
+    assert mimir_counts == truth
+    assert mrmpi_counts == truth
+
+
+@settings(max_examples=20, deadline=None)
+@given(corpora)
+def test_wordcount_optimizations_agree(corpus):
+    truth = Counter(corpus.split())
+    layout = KVLayout(key_len=CSTRING, val_len=8)
+    for opts in ({"hint": True}, {"compress": True}, {"partial": True},
+                 {"hint": True, "compress": True, "partial": True}):
+        cluster = Cluster(COMET, nprocs=3, memory_limit=None)
+        cluster.pfs.store("c.txt", corpus)
+        counts = _merge_counts(cluster.run(
+            lambda env: wordcount_mimir(env, "c.txt", MIMIR_CFG,
+                                        collect=True, **opts)).returns)
+        assert counts == truth, opts
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=15),
+              st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=30)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_lists, st.integers(min_value=1, max_value=4))
+def test_components_match_networkx(pairs, nprocs):
+    edges = np.array(pairs, dtype="<u8")
+    simple = [e for e in pairs if e[0] != e[1]]
+    if not simple:
+        return  # only self-loops: no propagation to verify
+
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store("e.bin", edges_to_bytes(edges))
+    result = cluster.run(
+        lambda env: components_mimir(env, "e.bin", MIMIR_CFG))
+    labels = {}
+    for r in result.returns:
+        labels.update(r.labels)
+
+    graph = nx.Graph(simple)
+    for component in nx.connected_components(graph):
+        root = min(component)
+        for vertex in component:
+            assert labels[vertex] == root
+
+
+kv_pairs = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=6),
+              st.integers(min_value=0, max_value=2 ** 32)),
+    min_size=0, max_size=50)
+
+
+@settings(max_examples=20, deadline=None)
+@given(kv_pairs, st.integers(min_value=1, max_value=4))
+def test_shuffle_reduce_equals_groupby(pairs, nprocs):
+    """Full map/shuffle/convert/reduce == a dict groupby."""
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+
+    def job(env):
+        mimir = Mimir(env, MIMIR_CFG)
+        mine = pairs[env.comm.rank :: env.comm.size]
+        kvs = mimir.map_items(
+            mine, lambda ctx, kv: ctx.emit(kv[0], pack_u64(kv[1])))
+        out = mimir.reduce(
+            kvs, lambda ctx, k, vs: ctx.emit(
+                k, pack_u64(sum(unpack_u64(v) for v in vs) % (1 << 64))))
+        result = {k: unpack_u64(v) for k, v in out.records()}
+        out.free()
+        return result
+
+    merged = {}
+    for part in cluster.run(job).returns:
+        for key, value in part.items():
+            assert key not in merged
+            merged[key] = value
+
+    expected: dict[bytes, int] = {}
+    for key, value in pairs:
+        expected[key] = expected.get(key, 0) + value
+    assert merged == {k: v % (1 << 64) for k, v in expected.items()}
