@@ -63,6 +63,9 @@ def main():
     print(f"words counted   : {total_words}")
     print(f"virtual time    : {ft.total_elapsed:.3f} s total "
           f"({ft.result.elapsed:.3f} s successful attempt)")
+    for record in ft.failure_log:
+        print(f"failure log     : attempt {record.attempt} rank "
+              f"{record.rank} [{record.kind}] {record.message}")
 
 
 if __name__ == "__main__":

@@ -72,7 +72,8 @@ class Cluster:
                  nodes: int = 1,
                  memory_limit: int | str | None = "auto",
                  pfs: ParallelFileSystem | None = None,
-                 keep_timeline: bool = False):
+                 keep_timeline: bool = False,
+                 chaos: Any = None):
         self.platform = platform
         self.nprocs = nprocs if nprocs is not None else platform.procs_per_node
         if self.nprocs <= 0:
@@ -92,7 +93,21 @@ class Cluster:
         sharers = -(-self.nprocs // nodes)
         self.pfs = pfs or ParallelFileSystem(platform.pfs, sharers=sharers)
         self.keep_timeline = keep_timeline
+        #: Optional chaos injector (duck-typed; see
+        #: :class:`repro.ft.injection.ChaosPlan`).  Wired into the PFS
+        #: and into every rank's clock at :meth:`run`, so any job can
+        #: be chaos-wrapped without code changes.
+        self.chaos = chaos
         self._trackers: list[MemoryTracker] = []
+        #: Monotonic launch counter; combined with the cluster shape it
+        #: gives fault-tolerance runs a nonce that invalidates stale
+        #: checkpoints from earlier, differently-configured runs.
+        self.launches = 0
+
+    def signature(self) -> str:
+        """Configuration fingerprint used to stamp checkpoints."""
+        return (f"{self.platform.name}:{self.nprocs}p{self.nodes}n:"
+                f"mem={self._limit}")
 
     @property
     def memory_limit_per_rank(self) -> int | None:
@@ -106,10 +121,15 @@ class Cluster:
             for _ in range(self.nprocs)
         ]
         self._trackers = trackers
+        self.launches += 1
         world = World(self.nprocs, self.platform.network,
                       nnodes=self.nodes)
+        chaos = self.chaos
+        self.pfs.chaos = chaos
 
         def rank_fn(comm: SimComm) -> Any:
+            if chaos is not None:
+                comm.slowdown = chaos.slowdown_for(comm.rank)
             env = RankEnv(comm, trackers[comm.rank], self.pfs, self.platform)
             return fn(env, *args)
 

@@ -1,29 +1,73 @@
-"""Fault tolerance: phase-level checkpoint/restart for MapReduce jobs.
+"""Fault tolerance: checkpoint/restart and chaos injection for MapReduce jobs.
 
 The paper notes that MR-MPI "is unable to handle system faults" and
 that the authors addressed this in prior work (Guo et al., SC'15,
 "Fault Tolerant MapReduce-MPI for HPC Clusters").  This package
 reproduces the checkpoint/restart flavour of that design on top of the
-simulated cluster:
+simulated cluster, and hardens it against the failure modes that
+dominate on machines like Mira (node loss, Lustre/GPFS hiccups,
+partial writes):
 
 - :class:`CheckpointManager` persists phase outputs (KVCs and small
-  control state) to the parallel file system with collective
-  completion markers;
+  control state) to the parallel file system as CRC32-checksummed,
+  length-framed, nonce-stamped records with collective completion
+  markers - a torn, corrupt, or stale checkpoint is detected and
+  recomputed, never silently replayed;
 - :class:`FaultPlan` / :class:`SimulatedRankFailure` inject
   deterministic rank failures at named points;
-- :func:`run_with_recovery` restarts a failed job, letting it skip
-  phases whose checkpoints completed - so work lost to a failure is
-  bounded by one phase instead of the whole job.
+- :class:`ChaosPlan` generalizes injection to transient PFS errors,
+  torn writes, bit corruption, and straggler ranks, all seeded and
+  deterministic;
+- :func:`run_with_recovery` restarts a failed job with per-class
+  restart budgets and a structured failure log, letting it skip phases
+  whose checkpoints completed - so work lost to a failure is bounded
+  by one phase instead of the whole job;
+- :func:`run_chaos_sweep` (``repro.ft.chaos``) sweeps seeded random
+  fault schedules over WordCount and checks bit-identical convergence.
 """
 
-from repro.ft.checkpoint import CheckpointManager
-from repro.ft.faults import FaultPlan, SimulatedRankFailure
-from repro.ft.runner import FTResult, run_with_recovery
+from repro.ft.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointNotFoundError,
+    CheckpointStaleError,
+)
+from repro.ft.faults import FaultPlan, SimulatedRankFailure, TornWriteFailure
+from repro.ft.injection import ChaosPlan, InjectedFault
+from repro.ft.runner import (
+    FailureRecord,
+    FTResult,
+    classify_failure,
+    run_with_recovery,
+)
+
+def __getattr__(name: str):
+    # Lazy: the harness pulls in app/benchmark machinery, and eager
+    # import would also trip runpy's double-import warning for
+    # ``python -m repro.ft.chaos``.
+    if name in ("ChaosSweepResult", "ChaosRunRecord", "run_chaos_sweep"):
+        from repro.ft import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosSweepResult",
+    "CheckpointCorruptError",
+    "CheckpointError",
     "CheckpointManager",
+    "CheckpointNotFoundError",
+    "CheckpointStaleError",
+    "FailureRecord",
     "FTResult",
     "FaultPlan",
+    "InjectedFault",
     "SimulatedRankFailure",
+    "TornWriteFailure",
+    "classify_failure",
+    "run_chaos_sweep",
     "run_with_recovery",
 ]

@@ -6,23 +6,129 @@ per-rank completion marker written *after* a barrier - so a marker's
 existence proves every rank's data reached the PFS.  Loading a
 checkpoint replays the bytes into a fresh KVC (charging PFS reads),
 exactly what a restarted rank would do.
+
+Checkpoints are **never trusted blindly**.  Every file (data and
+marker) is length-framed with a format-version header, stamped with
+the run's *nonce*, and CRC32-checksummed::
+
+    b"RCKP" | version u16 | nonce_len u16 | nonce | payload_len u64
+           | crc32 u32 | payload
+
+A torn write (crash mid-write), a flipped bit, or a stale file left by
+a previous run with a reused job id all fail validation; ``has()``
+then reports the phase incomplete and the job transparently recomputes
+it instead of silently replaying bad bytes.  Detections are reported
+through the attached failure log.  All PFS traffic goes through
+:func:`~repro.io.errors.retrying`, so transient I/O hiccups cost
+virtual backoff time instead of killing the rank.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
+import zlib
 
 from repro.cluster import RankEnv
 from repro.core.kvcontainer import KVContainer
 from repro.core.records import KVLayout
+from repro.io.errors import retrying
+
+#: On-disk format: magic, version, and the fixed header tails.
+CKPT_MAGIC = b"RCKP"
+CKPT_VERSION = 1
+_HEAD = struct.Struct("<HH")   # version, nonce length
+_TAIL = struct.Struct("<QI")   # payload length, crc32
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint validation failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed integrity validation (torn/corrupt)."""
+
+
+class CheckpointStaleError(CheckpointError):
+    """A structurally valid checkpoint stamped by a *different* run."""
+
+
+class CheckpointNotFoundError(CheckpointError, KeyError):
+    """No completed, valid checkpoint exists for the requested phase."""
+
+    def __init__(self, phase: str):
+        self.phase = phase
+        msg = f"no completed checkpoint for phase {phase!r}"
+        self._msg = msg
+        super().__init__(msg)
+
+    def __str__(self) -> str:
+        return self._msg
+
+
+def frame(payload: bytes, nonce: str) -> bytes:
+    """Wrap ``payload`` in the checksummed checkpoint envelope."""
+    encoded = nonce.encode()
+    return (CKPT_MAGIC + _HEAD.pack(CKPT_VERSION, len(encoded)) + encoded
+            + _TAIL.pack(len(payload), zlib.crc32(payload)) + payload)
+
+
+def unframe(blob: bytes, nonce: str) -> bytes:
+    """Validate the envelope and return the payload.
+
+    Raises :class:`CheckpointCorruptError` on any structural or
+    checksum failure and :class:`CheckpointStaleError` when the frame
+    was stamped by a different run (reused job id).
+    """
+    head_len = len(CKPT_MAGIC) + _HEAD.size
+    if len(blob) < head_len:
+        raise CheckpointCorruptError(
+            f"truncated header ({len(blob)} bytes)")
+    if blob[:len(CKPT_MAGIC)] != CKPT_MAGIC:
+        raise CheckpointCorruptError(
+            f"bad magic {blob[:len(CKPT_MAGIC)]!r}")
+    version, nonce_len = _HEAD.unpack_from(blob, len(CKPT_MAGIC))
+    if version != CKPT_VERSION:
+        raise CheckpointCorruptError(
+            f"unsupported format version {version}")
+    body = head_len + nonce_len
+    if len(blob) < body + _TAIL.size:
+        raise CheckpointCorruptError("truncated frame")
+    stamped = blob[head_len:body].decode(errors="replace")
+    payload_len, crc = _TAIL.unpack_from(blob, body)
+    payload = blob[body + _TAIL.size:]
+    if len(payload) != payload_len:
+        raise CheckpointCorruptError(
+            f"payload length {len(payload)} != framed {payload_len} "
+            "(torn write)")
+    if zlib.crc32(payload) != crc:
+        raise CheckpointCorruptError("payload CRC mismatch (corruption)")
+    if stamped != nonce:
+        raise CheckpointStaleError(
+            f"checkpoint stamped by run {stamped!r}, expected {nonce!r}")
+    return payload
 
 
 class CheckpointManager:
-    """One rank's view of a job's checkpoint directory."""
+    """One rank's view of a job's checkpoint directory.
 
-    def __init__(self, env: RankEnv, job_id: str):
+    ``nonce`` identifies the run (cluster configuration + launch) that
+    owns these checkpoints; it defaults to ``job_id`` for standalone
+    use.  ``faults`` is an optional injection plan consulted at the
+    commit point between data and marker writes, and ``failure_log``
+    collects retry/validation events for :class:`repro.ft.runner.
+    FTResult`.
+    """
+
+    def __init__(self, env: RankEnv, job_id: str, *,
+                 nonce: str | None = None,
+                 faults=None,
+                 failure_log: list | None = None):
         self.env = env
         self.job_id = job_id
+        self.nonce = nonce if nonce is not None else job_id
+        self.faults = faults
+        self.failure_log = failure_log if failure_log is not None else []
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -34,21 +140,88 @@ class CheckpointManager:
     def _marker_path(self, phase: str) -> str:
         return f"ckpt/{self.job_id}/{phase}.done.{self.env.comm.rank}"
 
+    # ---------------------------------------------------------- plumbing
+
+    def _report(self, kind: str, message: str) -> None:
+        # Imported lazily: runner imports this module.
+        from repro.ft.runner import FailureRecord
+
+        self.failure_log.append(
+            FailureRecord(attempt=0, rank=self.env.comm.rank,
+                          kind=kind, message=message))
+
+    def _retrying_write(self, path: str, payload: bytes) -> None:
+        comm = self.env.comm
+
+        def on_retry(attempt: int, exc) -> None:
+            self._report("retry", f"write {path!r} attempt {attempt}: {exc}")
+
+        retrying(comm, lambda: self.env.pfs.write(comm, path, payload),
+                 on_retry=on_retry)
+
+    def _retrying_read(self, path: str) -> bytes:
+        comm = self.env.comm
+
+        def on_retry(attempt: int, exc) -> None:
+            self._report("retry", f"read {path!r} attempt {attempt}: {exc}")
+
+        return retrying(comm, lambda: self.env.pfs.read(comm, path),
+                        on_retry=on_retry)
+
     # ----------------------------------------------------------- queries
+
+    def _valid_local(self, phase: str) -> bool:
+        """This rank's data + marker exist and pass validation.
+
+        Inspection is cost-free (``fetch``): deciding whether to
+        restore is a metadata scan; the charged read happens in
+        ``load_*``.  Invalid files are *reported*, never trusted.
+        """
+        pfs = self.env.pfs
+        marker, data = self._marker_path(phase), self._data_path(phase)
+        if not (pfs.exists(marker) and pfs.exists(data)):
+            return False
+        for path, check_payload in ((marker, b"ok"), (data, None)):
+            try:
+                payload = unframe(pfs.fetch(path), self.nonce)
+                if check_payload is not None and payload != check_payload:
+                    raise CheckpointCorruptError(
+                        f"marker payload {payload!r}")
+            except CheckpointStaleError as exc:
+                self._report("ckpt-stale", f"{path!r}: {exc}")
+                return False
+            except CheckpointError as exc:
+                self._report("ckpt-invalid", f"{path!r}: {exc}")
+                return False
+        return True
 
     def has(self, phase: str) -> bool:
         """Whether this phase completed on *every* rank (collective call).
 
         A failure can interleave with marker writes so that only some
-        ranks' markers reached the PFS; deciding completion with an
-        agreement (logical AND across ranks) guarantees every rank
-        takes the same restart path.  A partially complete checkpoint
-        is simply recomputed and overwritten.
+        ranks' markers reached the PFS - or a marker can exist over a
+        torn/corrupt/stale data file.  Deciding completion with an
+        agreement (logical AND over local *validation*, not mere
+        existence) guarantees every rank takes the same restart path; a
+        partial or invalid checkpoint is simply recomputed and
+        overwritten.
         """
-        local = self.env.pfs.exists(self._marker_path(phase))
-        return self.env.comm.all_true(local)
+        return self.env.comm.all_true(self._valid_local(phase))
 
     # -------------------------------------------------------------- save
+
+    def _save(self, phase: str, payload: bytes) -> None:
+        framed = frame(payload, self.nonce)
+        self._retrying_write(self._data_path(phase), framed)
+        self.bytes_written += len(framed)
+        self.env.comm.barrier()
+        # The commit point: data is durable everywhere, markers are
+        # not yet written.  A crash here must leave ``has()`` false.
+        if self.faults is not None:
+            self.faults.check(f"ckpt:{phase}:precommit", self.env.comm.rank)
+        self._retrying_write(self._marker_path(phase), frame(b"ok",
+                                                             self.nonce))
+        self.env.comm.barrier()
 
     def save_kvc(self, phase: str, kvc: KVContainer) -> None:
         """Persist a phase's KVC output; collective (all ranks call).
@@ -58,46 +231,46 @@ class CheckpointManager:
         ``save_kvc`` returns *anywhere*, every marker is on the PFS -
         a later failure cannot leave a half-committed checkpoint.
         """
-        payload = b"".join(bytes(page.view) for page in kvc.pages)
-        self.env.pfs.write(self.env.comm, self._data_path(phase), payload)
-        self.bytes_written += len(payload)
-        self.env.comm.barrier()
-        self.env.pfs.write(self.env.comm, self._marker_path(phase), b"ok")
-        self.env.comm.barrier()
+        self._save(phase, b"".join(bytes(page.view) for page in kvc.pages))
 
     def save_state(self, phase: str, state: object) -> None:
         """Persist small picklable control state (e.g. loop counters)."""
-        payload = pickle.dumps(state)
-        self.env.pfs.write(self.env.comm, self._data_path(phase), payload)
-        self.bytes_written += len(payload)
-        self.env.comm.barrier()
-        self.env.pfs.write(self.env.comm, self._marker_path(phase), b"ok")
-        self.env.comm.barrier()
+        self._save(phase, pickle.dumps(state))
 
     # -------------------------------------------------------------- load
+
+    def _load(self, phase: str) -> bytes:
+        if not self.has(phase):
+            raise CheckpointNotFoundError(phase)
+        blob = self._retrying_read(self._data_path(phase))
+        self.bytes_read += len(blob)
+        return unframe(blob, self.nonce)
 
     def load_kvc(self, phase: str, layout: KVLayout | None = None,
                  page_size: int = 64 * 1024,
                  tag: str = "kv_restored") -> KVContainer:
         """Rebuild this rank's KVC from a completed checkpoint."""
-        if not self.has(phase):
-            raise KeyError(f"no completed checkpoint for phase {phase!r}")
-        data = self.env.pfs.read(self.env.comm, self._data_path(phase))
-        self.bytes_read += len(data)
+        data = self._load(phase)
         kvc = KVContainer(self.env.tracker, layout, page_size, tag=tag)
         kvc.extend_encoded(data)
         return kvc
 
     def load_state(self, phase: str) -> object:
-        if not self.has(phase):
-            raise KeyError(f"no completed checkpoint for phase {phase!r}")
-        data = self.env.pfs.read(self.env.comm, self._data_path(phase))
-        self.bytes_read += len(data)
-        return pickle.loads(data)
+        return pickle.loads(self._load(phase))
 
     # ------------------------------------------------------------- purge
 
     def clear(self) -> None:
-        """Drop every checkpoint of this job (post-success cleanup)."""
-        for path in self.env.pfs.listdir(f"ckpt/{self.job_id}/"):
-            self.env.pfs.delete(path)
+        """Drop every checkpoint of this job; collective (all ranks call).
+
+        Rank 0 alone deletes after a barrier, so post-success cleanup
+        cannot race another rank still listing or reading the
+        directory; the trailing barrier keeps survivors from recreating
+        files mid-sweep.
+        """
+        comm = self.env.comm
+        comm.barrier()
+        if comm.rank == 0:
+            for path in self.env.pfs.listdir(f"ckpt/{self.job_id}/"):
+                self.env.pfs.delete(path)
+        comm.barrier()

@@ -1,0 +1,271 @@
+"""Seeded, deterministic chaos injection across the whole stack.
+
+:class:`ChaosPlan` generalizes :class:`~repro.ft.faults.FaultPlan`
+beyond "a rank dies at a named tag" to the failure modes that dominate
+at Mira/Comet scale:
+
+- **transient PFS errors** - any ``read``/``write``/``write_at``/
+  ``append`` may raise :class:`~repro.io.errors.TransientIOError`
+  before taking effect (a Lustre/GPFS hiccup that succeeds on retry);
+- **torn writes** - a rank crashes mid-write, leaving a prefix of the
+  file on the PFS (:class:`~repro.ft.faults.TornWriteFailure`);
+- **silent bit corruption** of files under a configurable prefix
+  (checkpoints by default - exactly the data that integrity framing
+  must catch);
+- **rank death at tags**, both explicitly scheduled (``fail_at``, the
+  :class:`FaultPlan` surface) and rate-based;
+- **stragglers** - a per-rank clock-slowdown multiplier applied to all
+  local (compute + I/O) virtual time via ``SimComm.advance``.
+
+Determinism: every rate-based decision hashes ``(seed, kind, rank,
+per-rank op index)`` - a pure function, independent of thread
+interleaving.  One caveat keeps full-run replay approximate: when a
+rank crashes, how many operations a *bystander* completes before the
+abort reaches it is scheduling-dependent (see "The rank runtime" in
+docs/architecture.md), so the set of decision points actually reached
+- and therefore the realized fault list - can vary slightly across
+executions of the same plan.  What never varies is the answer: the
+recovery guarantee under test is bit-identical output, not a
+bit-identical fault trace.  Each rate-based fault fires at most once
+per decision point (the plan carries fired-state across restarts, like
+:class:`FaultPlan`), and at most ``max_faults`` fire in total, so a
+chaotic run always converges given a restart budget.
+
+Hooks are consumed by :class:`~repro.io.pfs.ParallelFileSystem`
+(``chaos`` attribute) and :class:`~repro.cluster.Cluster`
+(``chaos=`` argument), so any existing job can be chaos-wrapped
+without code changes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.ft.faults import FaultPlan, SimulatedRankFailure, TornWriteFailure
+from repro.io.errors import TransientIOError
+
+#: Checkpoint-phase tags a chaos-wrapped job is expected to expose;
+#: :class:`ChaosPlan.random` schedules rate-based deaths against these
+#: plus whatever the job itself passes to ``check``.
+_HASH_SPACE = float(1 << 32)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the plan actually fired (or armed, for stragglers)."""
+
+    kind: str    # "transient-io" | "torn-write" | "corruption"
+    #          | "rank-death" | "straggler"
+    rank: int
+    where: str   # tag, or "op:path#opindex"
+    detail: str = ""
+
+
+class ChaosPlan:
+    """A seeded schedule of injectable faults; also a ``FaultPlan``.
+
+    All rates are per-operation probabilities in ``[0, 1]``.  Torn
+    writes and corruption only target paths under
+    ``corruptible_prefix`` (checkpoints by default): tearing or
+    flipping bits in an *unprotected* file - the job's input, say -
+    would silently change the answer, which is a test-harness bug, not
+    a survivable fault.  Transient errors, deaths and stragglers are
+    fair game everywhere because they are fail-stop or timing-only.
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 io_error_rate: float = 0.0,
+                 torn_write_rate: float = 0.0,
+                 corruption_rate: float = 0.0,
+                 tag_death_rate: float = 0.0,
+                 stragglers: dict[int, float] | None = None,
+                 corruptible_prefix: str = "ckpt/",
+                 max_faults: int = 8):
+        for name, rate in (("io_error_rate", io_error_rate),
+                           ("torn_write_rate", torn_write_rate),
+                           ("corruption_rate", corruption_rate),
+                           ("tag_death_rate", tag_death_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.io_error_rate = io_error_rate
+        self.torn_write_rate = torn_write_rate
+        self.corruption_rate = corruption_rate
+        self.tag_death_rate = tag_death_rate
+        self.stragglers = dict(stragglers or {})
+        self.corruptible_prefix = corruptible_prefix
+        self.max_faults = max_faults
+        self.deaths = FaultPlan()
+        self._lock = threading.Lock()
+        self._op_index: dict[int, int] = {}     # rank -> ops seen
+        self._seen_tags: set[tuple[str, int]] = set()
+        self._fired = 0
+        self.injected: list[InjectedFault] = []
+        for rank, factor in sorted(self.stragglers.items()):
+            if factor < 1.0:
+                raise ValueError(
+                    f"straggler factor must be >= 1, got {factor}")
+            self.injected.append(InjectedFault(
+                "straggler", rank, "clock", f"x{factor:g}"))
+
+    # ------------------------------------------------- deterministic dice
+
+    def _roll(self, kind: str, rank: int, point: str, rate: float) -> bool:
+        """Seeded coin flip, independent of thread interleaving."""
+        if rate <= 0.0:
+            return False
+        key = f"{self.seed}/{kind}/{rank}/{point}".encode()
+        return zlib.crc32(key) / _HASH_SPACE < rate
+
+    def _fire(self, fault: InjectedFault) -> bool:
+        """Record a rate-based fault unless the global cap is spent."""
+        with self._lock:
+            if self._fired >= self.max_faults:
+                return False
+            self._fired += 1
+            self.injected.append(fault)
+            return True
+
+    def _next_op(self, rank: int) -> int:
+        with self._lock:
+            n = self._op_index.get(rank, 0)
+            self._op_index[rank] = n + 1
+            return n
+
+    # -------------------------------------------- FaultPlan-compatible
+
+    def fail_at(self, tag: str, rank: int) -> "ChaosPlan":
+        """Schedule one explicit rank death (FaultPlan surface)."""
+        self.deaths.fail_at(tag, rank)
+        return self
+
+    def check(self, tag: str, rank: int) -> None:
+        """Maybe kill ``rank`` at ``tag`` (explicit or rate-based)."""
+        try:
+            self.deaths.check(tag, rank)
+        except SimulatedRankFailure:
+            with self._lock:
+                self.injected.append(
+                    InjectedFault("rank-death", rank, tag, "scheduled"))
+            raise
+        point = (tag, rank)
+        with self._lock:
+            if point in self._seen_tags:
+                return
+            self._seen_tags.add(point)
+        if self._roll("death", rank, tag, self.tag_death_rate):
+            if self._fire(InjectedFault("rank-death", rank, tag, "seeded")):
+                raise SimulatedRankFailure(tag, rank)
+
+    @property
+    def pending(self) -> set[tuple[str, int]]:
+        return self.deaths.pending
+
+    @property
+    def fired_count(self) -> int:
+        with self._lock:
+            return self._fired + len(self.deaths.fired)
+
+    def counts(self) -> dict[str, int]:
+        """Injected-fault tally by kind (stragglers excluded)."""
+        tally: dict[str, int] = {}
+        with self._lock:
+            for fault in self.injected:
+                if fault.kind == "straggler":
+                    continue
+                tally[fault.kind] = tally.get(fault.kind, 0) + 1
+        return tally
+
+    # ----------------------------------------------------- PFS hooks
+
+    def on_access(self, comm, op: str, path: str) -> None:
+        """Pre-operation hook for read/write_at/append (and write).
+
+        Raises :class:`TransientIOError` *before* the operation takes
+        effect; a transient fault never partially applies.
+        """
+        rank = comm.rank
+        n = self._next_op(rank)
+        where = f"{op}:{path}#{n}"
+        if self._roll("transient", rank, str(n), self.io_error_rate):
+            if self._fire(InjectedFault("transient-io", rank, where)):
+                raise TransientIOError(op, path, rank)
+
+    def on_write(self, comm, path: str,
+                 data: bytes) -> tuple[bytes, BaseException | None]:
+        """Full-write hook: transient, torn, or corrupted.
+
+        Returns the (possibly truncated or bit-flipped) payload to
+        store, plus an exception the file system must raise *after*
+        storing it - a torn write leaves its prefix behind.
+        """
+        self.on_access(comm, "write", path)
+        rank = comm.rank
+        with self._lock:
+            n = self._op_index.get(rank, 0) - 1  # index consumed above
+        if not path.startswith(self.corruptible_prefix) or not data:
+            return data, None
+        if self._roll("torn", rank, str(n), self.torn_write_rate):
+            kept = len(data) // 2
+            fault = InjectedFault("torn-write", rank,
+                                  f"write:{path}#{n}", f"kept {kept} bytes")
+            if self._fire(fault):
+                return data[:kept], TornWriteFailure(
+                    path, rank, kept, len(data))
+        if self._roll("corrupt", rank, str(n), self.corruption_rate):
+            bit = zlib.crc32(f"{self.seed}/bitpos/{rank}/{n}".encode()) \
+                % (len(data) * 8)
+            fault = InjectedFault("corruption", rank,
+                                  f"write:{path}#{n}", f"bit {bit} flipped")
+            if self._fire(fault):
+                mutated = bytearray(data)
+                mutated[bit // 8] ^= 1 << (bit % 8)
+                return bytes(mutated), None
+        return data, None
+
+    # -------------------------------------------------- cluster hook
+
+    def slowdown_for(self, rank: int) -> float:
+        """Clock multiplier for ``rank`` (1.0 = healthy)."""
+        return self.stragglers.get(rank, 1.0)
+
+    # ------------------------------------------------------ factories
+
+    @classmethod
+    def random(cls, seed: int, nranks: int, *,
+               tags: tuple[str, ...] = (),
+               intensity: float = 1.0,
+               max_faults: int = 6) -> "ChaosPlan":
+        """A mixed random schedule: deaths, I/O faults, stragglers.
+
+        ``seed`` fully determines the schedule.  ``intensity`` scales
+        every rate; ``tags`` optionally adds explicit deaths at points
+        the target job is known to expose.
+        """
+        rng = random.Random(seed)
+        stragglers = {
+            rank: round(rng.uniform(1.5, 4.0), 2)
+            for rank in range(nranks) if rng.random() < 0.25
+        }
+        plan = cls(
+            seed=seed,
+            io_error_rate=min(1.0, rng.choice([0.0, 0.02, 0.05]) * intensity),
+            torn_write_rate=min(1.0, rng.choice([0.0, 0.1, 0.3]) * intensity),
+            corruption_rate=min(1.0, rng.choice([0.0, 0.1, 0.3]) * intensity),
+            tag_death_rate=min(1.0, rng.choice([0.0, 0.1, 0.2]) * intensity),
+            stragglers=stragglers,
+            max_faults=max_faults,
+        )
+        if tags and rng.random() < 0.5:
+            plan.fail_at(rng.choice(tags), rng.randrange(nranks))
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChaosPlan(seed={self.seed}, io={self.io_error_rate}, "
+                f"torn={self.torn_write_rate}, "
+                f"corrupt={self.corruption_rate}, "
+                f"death={self.tag_death_rate}, "
+                f"stragglers={self.stragglers}, fired={self.fired_count})")

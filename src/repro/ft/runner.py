@@ -1,26 +1,92 @@
-"""Restart-on-failure driver.
+"""Restart-on-failure driver with failure classification.
 
-``run_with_recovery`` runs a job on a cluster; when a rank dies with
-:class:`SimulatedRankFailure`, the whole allocation is torn down (as an
-MPI launcher would) and the job is resubmitted against the same PFS -
-so checkpoints written by completed phases survive and the restarted
-job skips them.  Total virtual time accumulates across attempts,
-making the cost of a failure (and the value of checkpointing) directly
-measurable.
+``run_with_recovery`` runs a job on a cluster; when a rank dies, the
+whole allocation is torn down (as an MPI launcher would) and the job
+is resubmitted against the same PFS - so checkpoints written by
+completed phases survive and the restarted job skips them.  Total
+virtual time accumulates across attempts, making the cost of a failure
+(and the value of checkpointing) directly measurable.
+
+Failures are *classified* (transient I/O, rank death, torn write, OOM,
+unknown) and each class has its own restart cap: a flaky file system
+earns more retries than an out-of-memory condition that will simply
+recur, and an unrecognised exception is a bug that must propagate, not
+be retried into oblivion.  Every failure, absorbed retry, and detected
+bad checkpoint lands in :attr:`FTResult.failure_log`.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.cluster import Cluster, ClusterResult, RankEnv
 from repro.ft.checkpoint import CheckpointManager
-from repro.ft.faults import FaultPlan, SimulatedRankFailure
+from repro.ft.faults import (
+    FaultPlan,
+    SimulatedRankFailure,
+    TornWriteFailure,
+)
+from repro.io.errors import RetriesExhaustedError, TransientIOError
+from repro.memory.tracker import MemoryLimitExceeded
 from repro.mpi.errors import RankFailedError
 
 #: Job signature: ``fn(env, ckpt, faults) -> value``.
-FTJob = Callable[[RankEnv, CheckpointManager, FaultPlan], Any]
+FTJob = Callable[[RankEnv, CheckpointManager, Any], Any]
+
+#: Distinguishes runs for checkpoint stamping; never reset, so a stale
+#: checkpoint from an earlier launch can never satisfy a new nonce.
+_RUN_SEQ = itertools.count(1)
+
+
+@dataclass
+class FailureRecord:
+    """One event in a fault-tolerant run's history.
+
+    ``kind`` is one of the restart classes (``rank-death``,
+    ``torn-write``, ``transient-io``, ``oom``, ``unknown``) for
+    attempt-ending failures, or an absorbed event: ``retry`` (a
+    transient error the backoff wrapper survived), ``ckpt-invalid`` /
+    ``ckpt-stale`` (a bad checkpoint detected and recomputed).
+    ``attempt`` is 0 for absorbed events recorded inside a rank.
+    """
+
+    attempt: int
+    rank: int | None
+    kind: str
+    message: str
+    lost_elapsed: float = 0.0
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map a rank's fatal exception to a restart class."""
+    if isinstance(exc, TornWriteFailure):
+        return "torn-write"
+    if isinstance(exc, SimulatedRankFailure):
+        return "rank-death"
+    if isinstance(exc, (TransientIOError, RetriesExhaustedError)):
+        return "transient-io"
+    if isinstance(exc, MemoryLimitExceeded):
+        return "oom"
+    return "unknown"
+
+
+def default_restart_caps(max_restarts: int) -> dict[str, int]:
+    """Per-class restart budgets.
+
+    Injected faults (death, torn writes) and flaky I/O are worth the
+    full budget; OOM gets one retry (a restart that restores smaller
+    checkpointed state can fit where the original run did not); an
+    unknown exception is a real bug and is never retried.
+    """
+    return {
+        "rank-death": max_restarts,
+        "torn-write": max_restarts,
+        "transient-io": max_restarts,
+        "oom": min(1, max_restarts),
+        "unknown": 0,
+    }
 
 
 @dataclass
@@ -31,38 +97,81 @@ class FTResult:
     attempts: int
     total_elapsed: float
     failures: list[str] = field(default_factory=list)
+    failure_log: list[FailureRecord] = field(default_factory=list)
 
     @property
     def restarts(self) -> int:
         return self.attempts - 1
 
+    def log_counts(self) -> dict[str, int]:
+        """Failure-log tally by kind."""
+        tally: dict[str, int] = {}
+        for record in self.failure_log:
+            tally[record.kind] = tally.get(record.kind, 0) + 1
+        return tally
+
 
 def run_with_recovery(cluster: Cluster, job: FTJob, *,
-                      faults: FaultPlan | None = None,
+                      faults: Any = None,
                       job_id: str = "job",
-                      max_restarts: int = 8) -> FTResult:
-    """Run ``job`` to completion, restarting on injected failures."""
-    plan = faults or FaultPlan()
+                      max_restarts: int = 8,
+                      restart_caps: dict[str, int] | None = None,
+                      nonce: str | None = None) -> FTResult:
+    """Run ``job`` to completion, restarting on classified failures.
+
+    ``faults`` may be a :class:`FaultPlan` or a
+    :class:`~repro.ft.injection.ChaosPlan`; a chaos plan is also wired
+    into the cluster (PFS hooks + straggler clocks) for the duration of
+    the call.  ``nonce`` defaults to a fresh per-call stamp derived
+    from the cluster configuration, so checkpoints left by a previous
+    run that happens to reuse ``job_id`` are detected as stale and
+    recomputed instead of silently restored; pass an explicit nonce to
+    opt into cross-run checkpoint reuse.
+    """
+    plan = faults if faults is not None else FaultPlan()
+    if nonce is None:
+        nonce = f"{job_id}/{cluster.signature()}/run{next(_RUN_SEQ)}"
+    caps = dict(default_restart_caps(max_restarts))
+    if restart_caps:
+        caps.update(restart_caps)
+
+    previous_chaos = cluster.chaos
+    if hasattr(plan, "on_write"):  # a ChaosPlan, duck-typed
+        cluster.chaos = plan
+
     total_elapsed = 0.0
     failures: list[str] = []
+    failure_log: list[FailureRecord] = []
+    restarts_by_class: dict[str, int] = {}
 
     def rank_fn(env: RankEnv) -> Any:
-        return job(env, CheckpointManager(env, job_id), plan)
+        ckpt = CheckpointManager(env, job_id, nonce=nonce, faults=plan,
+                                 failure_log=failure_log)
+        return job(env, ckpt, plan)
 
-    for attempt in range(1, max_restarts + 2):
-        try:
-            result = cluster.run(rank_fn)
-        except RankFailedError as failure:
-            if not isinstance(failure.original, SimulatedRankFailure):
-                raise
-            # Virtual time burnt by the failed attempt still counts.
-            lost_clocks = getattr(failure, "clocks", None) or [0.0]
-            total_elapsed += max(lost_clocks)
-            failures.append(str(failure.original))
-            if attempt > max_restarts:
-                raise
-            continue
-        total_elapsed += result.elapsed
-        return FTResult(result, attempt, total_elapsed, failures)
-
-    raise AssertionError("unreachable")
+    try:
+        for attempt in itertools.count(1):
+            try:
+                result = cluster.run(rank_fn)
+            except RankFailedError as failure:
+                kind = classify_failure(failure.original)
+                # Virtual time burnt by the failed attempt still counts.
+                lost_clocks = getattr(failure, "clocks", None) or [0.0]
+                lost = max(lost_clocks)
+                total_elapsed += lost
+                failures.append(str(failure.original))
+                failure_log.append(FailureRecord(
+                    attempt, failure.rank, kind,
+                    str(failure.original), lost))
+                restarts_by_class[kind] = restarts_by_class.get(kind, 0) + 1
+                if (restarts_by_class[kind] > caps.get(kind, 0)
+                        or attempt > max_restarts):
+                    raise
+                continue
+            total_elapsed += result.elapsed
+            return FTResult(result, attempt, total_elapsed, failures,
+                            failure_log)
+        raise AssertionError("unreachable")
+    finally:
+        cluster.chaos = previous_chaos
+        cluster.pfs.chaos = previous_chaos

@@ -9,13 +9,25 @@ makes MR-MPI's I/O spillover as catastrophically expensive here as in
 the paper's Figure 1.
 """
 
+from repro.io.errors import (
+    PFSError,
+    PFSFileNotFoundError,
+    RetriesExhaustedError,
+    TransientIOError,
+    retrying,
+)
 from repro.io.pfs import FileStats, ParallelFileSystem
 from repro.io.spill import SpillReader, SpillWriter
 from repro.io.splits import split_blocks, split_range, split_text
 
 __all__ = [
     "FileStats",
+    "PFSError",
+    "PFSFileNotFoundError",
     "ParallelFileSystem",
+    "RetriesExhaustedError",
+    "TransientIOError",
+    "retrying",
     "SpillReader",
     "SpillWriter",
     "split_blocks",

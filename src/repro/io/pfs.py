@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.io.errors import PFSFileNotFoundError
 from repro.mpi.comm import SimComm
 from repro.mpi.costmodel import PFSModel
 
@@ -49,6 +51,23 @@ class ParallelFileSystem:
         self._files: dict[str, bytearray] = {}
         self._lock = threading.Lock()
         self.stats = FileStats()
+        #: Optional fault injector (see :class:`repro.ft.injection.
+        #: ChaosPlan`); duck-typed to keep this substrate dependency-free.
+        self.chaos: Any = None
+
+    def _require(self, path: str) -> bytearray:
+        """Look up ``path`` or raise a descriptive not-found error.
+
+        Must be called with ``self._lock`` held.
+        """
+        try:
+            return self._files[path]
+        except KeyError:
+            near = [p for p in self._files
+                    if p.rsplit("/", 1)[0] == path.rsplit("/", 1)[0]]
+            hint = f"{len(near)} sibling file(s) under the same directory" \
+                if near else "no files under that directory"
+            raise PFSFileNotFoundError(path, hint) from None
 
     def _cost(self, nbytes: int, write: bool = False) -> float:
         bw = self.model.effective_write_bandwidth if write else \
@@ -65,7 +84,7 @@ class ParallelFileSystem:
     def fetch(self, path: str) -> bytes:
         """Read a file without charging time (result inspection)."""
         with self._lock:
-            return bytes(self._files[path])
+            return bytes(self._require(path))
 
     def exists(self, path: str) -> bool:
         with self._lock:
@@ -73,7 +92,7 @@ class ParallelFileSystem:
 
     def size(self, path: str) -> int:
         with self._lock:
-            return len(self._files[path])
+            return len(self._require(path))
 
     def listdir(self, prefix: str = "") -> list[str]:
         with self._lock:
@@ -88,8 +107,10 @@ class ParallelFileSystem:
     def read(self, comm: SimComm, path: str, offset: int = 0,
              size: int | None = None) -> bytes:
         """Read ``size`` bytes at ``offset``, charging the caller's clock."""
+        if self.chaos is not None:
+            self.chaos.on_access(comm, "read", path)
         with self._lock:
-            blob = self._files[path]
+            blob = self._require(path)
             end = len(blob) if size is None else min(offset + size, len(blob))
             data = bytes(blob[offset:end])
             self.stats.bytes_read += len(data)
@@ -99,13 +120,24 @@ class ParallelFileSystem:
         return data
 
     def write(self, comm: SimComm, path: str, data: bytes | bytearray) -> None:
-        """Replace ``path`` with ``data``, charging the caller's clock."""
+        """Replace ``path`` with ``data``, charging the caller's clock.
+
+        Under chaos injection the write may fail transiently *before*
+        taking effect, land corrupted, or land torn (a prefix is stored
+        and the rank dies) - the failure modes checksummed checkpoints
+        exist to catch.
+        """
+        raise_after: BaseException | None = None
+        if self.chaos is not None:
+            data, raise_after = self.chaos.on_write(comm, path, bytes(data))
         with self._lock:
             self._files[path] = bytearray(data)
             self.stats.bytes_written += len(data)
             self.stats.writes += 1
             self.stats._charge(path, len(data))
         comm.advance(self._cost(len(data), write=True))
+        if raise_after is not None:
+            raise raise_after
 
     def write_at(self, comm: SimComm, path: str, offset: int,
                  data: bytes | bytearray) -> None:
@@ -115,6 +147,8 @@ class ParallelFileSystem:
         """
         if offset < 0:
             raise ValueError(f"offset must be non-negative, got {offset}")
+        if self.chaos is not None:
+            self.chaos.on_access(comm, "write_at", path)
         with self._lock:
             blob = self._files.setdefault(path, bytearray())
             end = offset + len(data)
@@ -128,6 +162,8 @@ class ParallelFileSystem:
 
     def append(self, comm: SimComm, path: str, data: bytes | bytearray) -> int:
         """Append ``data``; returns the offset it was written at."""
+        if self.chaos is not None:
+            self.chaos.on_access(comm, "append", path)
         with self._lock:
             blob = self._files.setdefault(path, bytearray())
             offset = len(blob)

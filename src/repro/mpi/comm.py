@@ -45,6 +45,11 @@ class SimComm:
         self.size = size
         self._engine = engine
         self.clock = Clock()
+        #: Straggler multiplier: local (compute/I/O) time charged via
+        #: :meth:`advance` is scaled by this factor.  Collectives are
+        #: unaffected - a straggler slows its own work, and the job
+        #: feels it at the next synchronisation, as on real hardware.
+        self.slowdown = 1.0
         self._loopback: list[tuple[int, Any]] = []  # self-sends
 
     # ------------------------------------------------------------ plumbing
@@ -184,7 +189,7 @@ class SimComm:
 
     def advance(self, seconds: float) -> None:
         """Charge local (compute or I/O) virtual time to this rank."""
-        self.clock.advance(seconds)
+        self.clock.advance(seconds * self.slowdown)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimComm(rank={self.rank}, size={self.size}, t={self.clock.time:.6f})"
