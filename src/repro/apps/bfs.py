@@ -192,6 +192,75 @@ def bfs_mimir(env: RankEnv, path: str,
     return result
 
 
+def bfs_plan(env: RankEnv, path: str,
+             config: MimirConfig | None = None, *,
+             hint: bool = False, compress: bool = False,
+             keep_parents: bool = False, reuse: bool = True,
+             ctx=None, cache=None, trace=None,
+             checkpoint=None, profile=None) -> BFSResult:
+    """BFS on the dataflow Plan API; identical traversal to
+    :func:`bfs_mimir`.
+
+    The partitioned edge list (the memory peak) becomes a cacheable
+    plan stage: with ``reuse`` a repeated traversal - or another job
+    over the same graph - streams the materialized container instead
+    of re-shuffling every edge.  Each level's frontier expansion is a
+    per-level salted source stage.
+    """
+    from repro.sched.executor import PlanRunner
+    from repro.sched.plan import Plan
+
+    if ctx is not None:
+        config = config or ctx.config
+    config = config or MimirConfig()
+    if hint:
+        config = config.with_layout(BFS_HINT_LAYOUT)
+    plan = Plan("bfs", config)
+    if ctx is not None:
+        runner = ctx.runner(plan, profile=profile, checkpoint=checkpoint)
+    else:
+        runner = PlanRunner(env, plan, cache=cache, profile=profile,
+                            trace=trace, checkpoint=checkpoint)
+
+    edges_ds = plan.read_binary(path, EDGE_RECORD_SIZE, name="edges")
+    adj_ds = edges_ds.map(_emit_edges, partitioner=vertex_partitioner,
+                          name="partition")
+    if reuse:
+        adj_ds.cache()
+
+    # Phase 1: graph partitioning (the memory peak).
+    adj = _Adjacency(env)
+    for key, value in runner.stream(adj_ds):
+        adj.add(unpack_u64(key), unpack_u64(value))
+
+    root = _pick_root(env, adj)
+
+    # Phase 2: map-only traversal, one salted source stage per level.
+    level = {"n": 0}
+
+    def run_level(frontier: list[int]):
+        level["n"] += 1
+        salt = f"L{level['n']}"
+
+        def expand(pctx, vertex: int):
+            vb = pack_u64(vertex)
+            for nbr in adj.neighbours(vertex):
+                pctx.emit(pack_u64(nbr), vb)
+
+        arrivals = (plan.source(list(frontier), name="frontier", salt=salt)
+                    .map(expand, partitioner=vertex_partitioner,
+                         combine_fn=bfs_combine if compress else None,
+                         name="expand", salt=salt))
+        yield from runner.stream(arrivals)
+
+    levels, visited = _traverse(env, adj, root, run_level)
+    result = BFSResult(root, levels, len(visited.parents),
+                       dict(visited.parents) if keep_parents else None)
+    visited.free()
+    adj.free()
+    return result
+
+
 def bfs_mrmpi(env: RankEnv, path: str,
               config: MRMPIConfig | None = None, *,
               compress: bool = False,

@@ -64,6 +64,63 @@ def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     return np.argmin((diff * diff).sum(axis=2), axis=1)
 
 
+def _load_points(env: RankEnv, path: str,
+                 config: MimirConfig) -> np.ndarray:
+    """This rank's block of points, charged to the tracker."""
+    from repro.io.readers import iter_binary_chunks
+
+    blocks = list(iter_binary_chunks(env, path, POINT_RECORD_SIZE,
+                                     config.input_chunk_size))
+    points = (np.frombuffer(b"".join(blocks), dtype="<f4")
+              .reshape(-1, 3).astype(np.float64))
+    env.tracker.allocate(points.nbytes, "kmeans_points")
+    return points
+
+
+def _init_centroids(env: RankEnv, points: np.ndarray, k: int,
+                    seed: int) -> np.ndarray:
+    """Deterministic global initialisation: every rank contributes a
+    sample; all ranks then run the same farthest-point selection over
+    the pooled samples (k-means++-style), so the initial centroids
+    span the whole dataset rather than one rank's contiguous block.
+    """
+    comm = env.comm
+    rng = np.random.default_rng(seed)
+    nsample = min(max(4 * k, 8), len(points)) if len(points) else 0
+    local_sample = points[
+        rng.choice(len(points), size=nsample, replace=False)
+    ] if nsample else np.zeros((0, 3))
+    pooled = np.array([row for part in comm.allgather(local_sample.tolist())
+                       for row in part])
+    chosen = [int(np.random.default_rng(seed).integers(len(pooled)))]
+    while len(chosen) < k:
+        dists = np.min(
+            ((pooled[:, None, :] - pooled[chosen][None, :, :]) ** 2
+             ).sum(axis=2), axis=1)
+        dists[chosen] = -1.0
+        chosen.append(int(np.argmax(dists)))
+    return pooled[chosen].copy()
+
+
+def _update_centroids(env: RankEnv, records, centroids: np.ndarray,
+                      k: int) -> tuple[np.ndarray, list[int], float]:
+    """Merge per-centroid aggregates globally (small control data:
+    ``k`` entries) and recompute centroids everywhere."""
+    local = {int(_U32.unpack(key)[0]): unpack_agg(value)
+             for key, value in records}
+    merged = env.comm.allgather(
+        [(cid, sums.tolist(), count)
+         for cid, (sums, count) in local.items()])
+    new_centroids = centroids.copy()
+    sizes = [0] * k
+    for part in merged:
+        for cid, sums, count in part:
+            new_centroids[cid] = np.array(sums) / count
+            sizes[cid] = count
+    shift = float(np.abs(new_centroids - centroids).max())
+    return new_centroids, sizes, shift
+
+
 def kmeans_mimir(env: RankEnv, path: str, k: int,
                  config: MimirConfig | None = None, *,
                  max_iterations: int = 50, tolerance: float = 1e-6,
@@ -80,38 +137,14 @@ def kmeans_mimir(env: RankEnv, path: str, k: int,
 
     # Load this rank's block of points once (iterative jobs re-read
     # from memory, like the paper's multistage inputs).
-    from repro.io.readers import iter_binary_chunks
-
-    blocks = list(iter_binary_chunks(env, path, POINT_RECORD_SIZE,
-                                     config.input_chunk_size))
-    points = (np.frombuffer(b"".join(blocks), dtype="<f4")
-              .reshape(-1, 3).astype(np.float64))
-    env.tracker.allocate(points.nbytes, "kmeans_points")
+    points = _load_points(env, path, config)
 
     total = comm.allsum(len(points))
     if total < k:
         env.tracker.free(points.nbytes, "kmeans_points")
         raise ValueError(f"k={k} exceeds the {total} available points")
 
-    # Deterministic global initialisation: every rank contributes a
-    # sample; all ranks then run the same farthest-point selection over
-    # the pooled samples (k-means++-style), so the initial centroids
-    # span the whole dataset rather than one rank's contiguous block.
-    rng = np.random.default_rng(seed)
-    nsample = min(max(4 * k, 8), len(points)) if len(points) else 0
-    local_sample = points[
-        rng.choice(len(points), size=nsample, replace=False)
-    ] if nsample else np.zeros((0, 3))
-    pooled = np.array([row for part in comm.allgather(local_sample.tolist())
-                       for row in part])
-    chosen = [int(np.random.default_rng(seed).integers(len(pooled)))]
-    while len(chosen) < k:
-        dists = np.min(
-            ((pooled[:, None, :] - pooled[chosen][None, :, :]) ** 2
-             ).sum(axis=2), axis=1)
-        dists[chosen] = -1.0
-        chosen.append(int(np.argmax(dists)))
-    centroids = pooled[chosen].copy()
+    centroids = _init_centroids(env, points, k, seed)
 
     iterations = 0
     sizes: list[int] = []
@@ -132,23 +165,78 @@ def kmeans_mimir(env: RankEnv, path: str, k: int,
         summed = mimir.partial_reduce(kvs, km_combine,
                                       out_layout=config.layout)
 
-        # Share the per-centroid aggregates globally (small control
-        # data: k entries) and recompute centroids everywhere.
-        local = {int(_U32.unpack(key)[0]): unpack_agg(value)
-                 for key, value in summed.consume()}
-        merged = comm.allgather(
-            [(cid, sums.tolist(), count)
-             for cid, (sums, count) in local.items()])
-        new_centroids = centroids.copy()
-        sizes = [0] * k
-        for part in merged:
-            for cid, sums, count in part:
-                new_centroids[cid] = np.array(sums) / count
-                sizes[cid] = count
-        shift = float(np.abs(new_centroids - centroids).max())
-        centroids = new_centroids
+        centroids, sizes, shift = _update_centroids(
+            env, summed.consume(), centroids, k)
         if shift <= tolerance:
             break
+
+    assignment = _assign(points, centroids) if len(points) else \
+        np.zeros(0, dtype=np.int64)
+    local_inertia = float(
+        ((points - centroids[assignment]) ** 2).sum()) if len(points) else 0.0
+    inertia = comm.allsum(local_inertia)
+    env.tracker.free(points.nbytes, "kmeans_points")
+    return KMeansResult(centroids, iterations, sizes, inertia)
+
+
+def kmeans_plan(env: RankEnv, path: str, k: int,
+                config: MimirConfig | None = None, *,
+                max_iterations: int = 50, tolerance: float = 1e-6,
+                hint: bool = True, compress: bool = True, seed: int = 0,
+                ctx=None, cache=None, trace=None,
+                checkpoint=None, profile=None) -> KMeansResult:
+    """k-means on the dataflow Plan API; numerically identical to
+    :func:`kmeans_mimir` (shared load/init/update helpers, identical
+    per-iteration MapReduce lowering)."""
+    from repro.sched.executor import PlanRunner
+    from repro.sched.plan import Plan
+
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if ctx is not None:
+        config = config or ctx.config
+    config = config or MimirConfig()
+    if hint:
+        config = config.with_layout(KM_HINT_LAYOUT)
+    comm = env.comm
+    plan = Plan("kmeans", config)
+    if ctx is not None:
+        runner = ctx.runner(plan, profile=profile, checkpoint=checkpoint)
+    else:
+        runner = PlanRunner(env, plan, cache=cache, profile=profile,
+                            trace=trace, checkpoint=checkpoint)
+
+    points = _load_points(env, path, config)
+    total = comm.allsum(len(points))
+    if total < k:
+        env.tracker.free(points.nbytes, "kmeans_points")
+        raise ValueError(f"k={k} exceeds the {total} available points")
+    centroids = _init_centroids(env, points, k, seed)
+
+    def body(r, _i, state):
+        centroids, _sizes, _shift = state
+        assignment = _assign(points, centroids) if len(points) else \
+            np.zeros(0, dtype=np.int64)
+
+        def map_fn(pctx, _item, _assignment=assignment):
+            for cid in range(k):
+                mask = _assignment == cid
+                count = int(mask.sum())
+                if count:
+                    pctx.emit(_U32.pack(cid),
+                              pack_agg(points[mask].sum(axis=0), count))
+
+        summed = (r.plan.source([None], name="assignments")
+                  .map(map_fn, combine_fn=km_combine if compress else None,
+                       name="aggregate")
+                  .partial_reduce(km_combine, out_layout=config.layout,
+                                  name="centroids"))
+        return _update_centroids(env, r.stream(summed), centroids, k)
+
+    (centroids, sizes, _shift), iterations = runner.iterate(
+        (centroids, [], float("inf")), body,
+        until=lambda state: state[2] <= tolerance,
+        max_iters=max_iterations)
 
     assignment = _assign(points, centroids) if len(points) else \
         np.zeros(0, dtype=np.int64)

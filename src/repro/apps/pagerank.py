@@ -140,3 +140,107 @@ def pagerank_mimir(env: RankEnv, path: str,
             break
 
     return PageRankResult(done, {v: scores[v] for v in vertices}, delta)
+
+
+def pagerank_plan(env: RankEnv, path: str,
+                  config: MimirConfig | None = None, *,
+                  damping: float = 0.85, iterations: int = 20,
+                  tolerance: float = 1e-9, hint: bool = False,
+                  compress: bool = False, reuse: bool = True,
+                  ctx=None, cache=None, trace=None,
+                  checkpoint=None, profile=None) -> PageRankResult:
+    """PageRank on the dataflow Plan API; results match
+    :func:`pagerank_mimir` bit for bit.
+
+    The adjacency list becomes a plan stage, numerically sorted so the
+    per-iteration contribution map emits in exactly the order the
+    dict-driven original does (bitwise-identical float sums), and -
+    with ``reuse`` - cached: iterations (and later jobs building the
+    same stage) reread the materialized container instead of
+    re-shuffling the edge list.  ``ctx`` wires the runner into a
+    :class:`~repro.sched.scheduler.Scheduler`'s cache/trace; standalone
+    callers may pass ``cache``/``trace``/``checkpoint`` directly.
+    """
+    from repro.sched.executor import PlanRunner
+    from repro.sched.plan import Plan
+
+    if ctx is not None:
+        config = config or ctx.config
+    config = config or MimirConfig()
+    if hint:
+        config = config.with_layout(PR_HINT_LAYOUT)
+    comm = env.comm
+    plan = Plan("pagerank", config)
+
+    def emit_edges(pctx, chunk: bytes) -> None:
+        edges = np.frombuffer(chunk, dtype="<u8").reshape(-1, 2)
+        for u, v in edges.tolist():
+            pctx.emit(pack_u64(u), pack_u64(v))
+
+    def dedup_targets(rctx, key: bytes, values: list[bytes]) -> None:
+        targets = sorted({unpack_u64(v) for v in values})
+        rctx.emit(key, b"".join(pack_u64(t) for t in targets))
+
+    edges = plan.read_binary(path, EDGE_RECORD_SIZE, name="edges")
+    adjacency = (edges
+                 .map(emit_edges, partitioner=vertex_partitioner,
+                      name="edge-shuffle")
+                 .reduce(dedup_targets, out_layout=KVLayout(),
+                         name="adjacency")
+                 .sort_local(key_fn=lambda k, v: unpack_u64(k),
+                             name="adjacency-sorted"))
+    if reuse:
+        adjacency.cache()
+
+    def emit_vertices(pctx, chunk: bytes) -> None:
+        edges = np.frombuffer(chunk, dtype="<u8").reshape(-1, 2)
+        for v in np.unique(edges).tolist():
+            pctx.emit(pack_u64(v), b"\x00" * 8)
+
+    vertex_ds = edges.map(emit_vertices, partitioner=vertex_partitioner,
+                          combine_fn=lambda k, a, b: a, name="vertices")
+
+    if ctx is not None:
+        runner = ctx.runner(plan, profile=profile, checkpoint=checkpoint)
+    else:
+        runner = PlanRunner(env, plan, cache=cache, profile=profile,
+                            trace=trace, checkpoint=checkpoint)
+
+    vertices = sorted({unpack_u64(k) for k, _ in runner.stream(vertex_ds)})
+    nvertices = comm.allsum(len(vertices))
+    if nvertices == 0:
+        raise ValueError("graph has no vertices")
+    has_out = {unpack_u64(k) for k, _ in runner.stream(adjacency)}
+
+    def body(r, _i, state):
+        scores, _delta = state
+        dangling = sum(score for v, score in scores.items()
+                       if v not in has_out)
+        dangling = comm.allsum(dangling)
+
+        def contrib(pctx, key: bytes, value: bytes, _scores=scores) -> None:
+            share = _F64.pack(_scores[unpack_u64(key)] / (len(value) // 8))
+            for t in np.frombuffer(value, dtype="<u8").tolist():
+                pctx.emit(pack_u64(t), share)
+
+        summed = (adjacency
+                  .map(contrib, partitioner=vertex_partitioner,
+                       combine_fn=pr_combine if compress else None,
+                       name="contrib")
+                  .partial_reduce(pr_combine, out_layout=config.layout,
+                                  name="scores"))
+
+        base = (1.0 - damping) / nvertices + \
+            damping * dangling / nvertices
+        new_scores = {v: base for v in vertices}
+        for key, value in r.stream(summed):
+            new_scores[unpack_u64(key)] = base + damping * unpack_f64(value)
+        delta = comm.allsum(sum(abs(new_scores[v] - scores[v])
+                                for v in vertices))
+        return new_scores, delta
+
+    initial = ({v: 1.0 / nvertices for v in vertices}, float("inf"))
+    (scores, delta), done = runner.iterate(
+        initial, body, until=lambda state: state[1] < tolerance,
+        max_iters=iterations)
+    return PageRankResult(done, {v: scores[v] for v in vertices}, delta)

@@ -81,6 +81,46 @@ def wordcount_mimir(env: RankEnv, path: str,
                            kv_bytes=mimir.last_map_stats.get("kv_bytes", 0))
 
 
+def wordcount_plan(env: RankEnv, path: str,
+                   config: MimirConfig | None = None, *,
+                   hint: bool = False, compress: bool = False,
+                   partial: bool = False, collect: bool = False,
+                   ctx=None, cache=None, trace=None,
+                   checkpoint=None, profile=None) -> WordCountResult:
+    """WordCount on the dataflow Plan API; identical counts to
+    :func:`wordcount_mimir`."""
+    from repro.sched.executor import PlanRunner
+    from repro.sched.plan import Plan
+
+    if ctx is not None:
+        config = config or ctx.config
+    config = config or MimirConfig()
+    if hint:
+        config = config.with_layout(WC_HINT_LAYOUT)
+    plan = Plan("wordcount", config)
+    words = plan.read_text(path, name="input").map(
+        wc_map, combine_fn=wc_combine if compress else None,
+        name="count-map")
+    if partial:
+        out = words.partial_reduce(wc_combine, out_layout=config.layout,
+                                   name="counts")
+    else:
+        out = words.reduce(wc_reduce, out_layout=config.layout,
+                           name="counts")
+    if ctx is not None:
+        runner = ctx.runner(plan, profile=profile, checkpoint=checkpoint)
+    else:
+        runner = PlanRunner(env, plan, cache=cache, profile=profile,
+                            trace=trace, checkpoint=checkpoint)
+    pairs = runner.collect(out)
+    unique = len(pairs)
+    total = sum(unpack_u64(v) for _, v in pairs)
+    counts = {k: unpack_u64(v) for k, v in pairs} if collect else None
+    return WordCountResult(unique, total, counts,
+                           kv_bytes=runner.mimir.last_map_stats.get(
+                               "kv_bytes", 0))
+
+
 def wordcount_mrmpi(env: RankEnv, path: str,
                     config: MRMPIConfig | None = None, *,
                     compress: bool = False,

@@ -101,6 +101,13 @@ def cmd_run(args) -> int:
     return 1 if record.oom else 0
 
 
+def cmd_pipeline(args) -> int:
+    from repro.sched.demo import run_demo
+
+    return run_demo(args.apps or None, nprocs=args.nprocs,
+                    platform=args.platform, memory_limit=args.memory)
+
+
 def cmd_compare(args) -> int:
     scale = BenchScale(extra_shift=args.shift)
     platform = scale.platform(PLATFORMS[args.platform])
@@ -161,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="compare frameworks on one workload")
     common(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help="run a multi-job dataflow pipeline through the scheduler")
+    p_pipe.add_argument(
+        "apps", nargs="*",
+        help="jobs to submit (wordcount pagerank kmeans bfs insitu); "
+             "default: wordcount pagerank")
+    p_pipe.add_argument("--platform", choices=sorted(PLATFORMS),
+                        default="comet")
+    p_pipe.add_argument("--nprocs", type=int, default=4)
+    p_pipe.add_argument("--memory", default="512K",
+                        help='per-rank memory budget (e.g. "512K")')
+    p_pipe.set_defaults(fn=cmd_pipeline)
     return parser
 
 

@@ -114,9 +114,19 @@ class Cluster:
         return self._limit
 
     def run(self, fn: Callable[..., Any], *args: Any,
-            allow_oom: bool = False) -> ClusterResult:
-        """Run ``fn(env, *args)`` on every rank; gather the outcome."""
-        trackers = [
+            allow_oom: bool = False,
+            trackers: list[MemoryTracker] | None = None) -> ClusterResult:
+        """Run ``fn(env, *args)`` on every rank; gather the outcome.
+
+        ``trackers`` (one per rank) lets a caller carry memory state
+        across launches: the multi-job scheduler reuses one tracker set
+        for every scheduling round so cached intermediate containers
+        stay charged between rounds instead of leaking accounting.
+        """
+        if trackers is not None and len(trackers) != self.nprocs:
+            raise ValueError(
+                f"got {len(trackers)} trackers for {self.nprocs} ranks")
+        trackers = trackers if trackers is not None else [
             MemoryTracker(self._limit, keep_timeline=self.keep_timeline)
             for _ in range(self.nprocs)
         ]

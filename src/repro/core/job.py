@@ -118,10 +118,34 @@ class Mimir:
             "kv_bytes": shuffler.bytes_sent,
             "rounds": shuffler.rounds,
         }
+        if self.profile is not None:
+            self.profile.annotate_last(rounds=shuffler.rounds,
+                                       spilled_bytes=out.spilled_bytes)
         if self.trace is not None:
             self.trace.emit(self.env, "phase", "map+aggregate:end",
                             **self.last_map_stats)
         return out
+
+    def _reusable(self, kvc: KVContainer, consume: bool,
+                  tag: str) -> KVContainer:
+        """The input for a consuming pipeline stage.
+
+        With ``consume`` the container itself is handed over (and
+        drained by the stage, Mimir's default).  Without it the records
+        are copied into a scratch container that the stage drains
+        instead, leaving the original intact - the non-destructive read
+        path that lets the dataflow cache (:mod:`repro.sched`) feed one
+        materialized container to many consumers.
+        """
+        if consume:
+            return kvc
+        scratch = KVContainer(
+            self.env.tracker, kvc.layout, self.config.page_size, tag=tag,
+            spill_env=self.env if self.config.out_of_core else None)
+        for key, value in kvc.records():
+            scratch.add(key, value)
+        self.env.charge_compute(scratch.nbytes)
+        return scratch
 
     # -------------------------------------------------------- map sources
 
@@ -227,11 +251,18 @@ class Mimir:
                 combine_fn: CombineFn | None = None,
                 partitioner: Callable[[bytes, int], int] | None = None,
                 layout: KVLayout | None = None,
-                out_tag: str = "kv_shuffled") -> KVContainer:
-        """Map over a previous operation's KVs (consumed as it drains)."""
+                out_tag: str = "kv_shuffled",
+                consume: bool = True) -> KVContainer:
+        """Map over a previous operation's KVs.
+
+        By default the input is consumed as it drains (Mimir's
+        memory-efficient multistage path); ``consume=False`` reads it
+        non-destructively so a cached container can be mapped again.
+        """
 
         def feed(ctx: MapContext) -> None:
-            for key, value in kvc.consume():
+            source = kvc.consume() if consume else kvc.records()
+            for key, value in source:
                 map_fn(ctx, key, value)
 
         return self._run_map(feed, combine_fn=combine_fn,
@@ -243,52 +274,72 @@ class Mimir:
     def reduce(self, kvc: KVContainer,
                reduce_fn: Callable[[ReduceContext, bytes, list[bytes]], None],
                *, out_layout: KVLayout | None = None,
-               out_tag: str = "kv_out") -> KVContainer:
+               out_tag: str = "kv_out",
+               consume: bool = True) -> KVContainer:
         """Implicit convert (two-pass) followed by the user reduce.
 
-        Consumes ``kvc``.  The reduce output stays rank-local; a global
-        barrier separates the map and reduce sides, as the MapReduce
-        model requires.
+        Consumes ``kvc`` unless ``consume=False`` (which groups a
+        scratch copy and leaves the input intact).  The reduce output
+        stays rank-local; a global barrier separates the map and reduce
+        sides, as the MapReduce model requires.
         """
         self.env.comm.barrier()
         span = self.profile.phase("convert+reduce") if self.profile \
             else nullcontext()
         with span:
+            source = self._reusable(kvc, consume, "kv_regroup")
             out = KVContainer(
                 self.env.tracker, out_layout or KVLayout(),
                 self.config.page_size, tag=out_tag,
                 spill_env=self.env if self.config.out_of_core else None)
             ctx = ReduceContext(out)
             reduced_bytes = 0
-            for key, values in iter_grouped(self.env, kvc, self.config):
+            for key, values in iter_grouped(self.env, source, self.config):
                 reduce_fn(ctx, key, values)
                 reduced_bytes += len(key) + sum(len(v) for v in values)
             self.env.charge_compute(reduced_bytes)
+        if self.profile is not None:
+            self.profile.annotate_last(spilled_bytes=out.spilled_bytes)
         return out
 
     def partial_reduce(self, kvc: KVContainer, pr_fn: PartialReduceFn, *,
                        out_layout: KVLayout | None = None,
-                       out_tag: str = "kv_out") -> KVContainer:
+                       out_tag: str = "kv_out",
+                       consume: bool = True) -> KVContainer:
         """Streaming replacement for convert+reduce (needs invariance)."""
         self.env.comm.barrier()
         span = self.profile.phase("partial_reduce") if self.profile \
             else nullcontext()
         with span:
-            return partial_reduce(self.env, kvc, pr_fn, self.config,
-                                  out_layout, out_tag)
+            source = self._reusable(kvc, consume, "kv_refold")
+            out = partial_reduce(self.env, source, pr_fn, self.config,
+                                 out_layout, out_tag)
+        if self.profile is not None:
+            self.profile.annotate_last(spilled_bytes=out.spilled_bytes)
+        return out
 
     # ------------------------------------------------------ conveniences
 
     def sort_local(self, kvc: KVContainer, *, by_value: bool = False,
-                   out_tag: str = "kv_sorted") -> KVContainer:
-        """Sort a rank-local KVC by key (or value); consumes the input.
+                   key_fn: Callable[[bytes, bytes], Any] | None = None,
+                   out_tag: str = "kv_sorted",
+                   consume: bool = True) -> KVContainer:
+        """Sort a rank-local KVC by key (or value); consumes the input
+        unless ``consume=False``.
 
+        ``key_fn(key, value)`` overrides the sort key (e.g. decode a
+        little-endian id whose byte order is not its numeric order).
         Rank-local, like MR-MPI's ``sort_keys``: the global order is
         the concatenation of per-rank sorted runs.
         """
-        records = sorted(kvc.consume(),
-                         key=(lambda kv: kv[1]) if by_value
-                         else (lambda kv: kv[0]))
+        if key_fn is not None:
+            sort_key = lambda kv: key_fn(kv[0], kv[1])  # noqa: E731
+        elif by_value:
+            sort_key = lambda kv: kv[1]  # noqa: E731
+        else:
+            sort_key = lambda kv: kv[0]  # noqa: E731
+        records = sorted(kvc.consume() if consume else kvc.records(),
+                         key=sort_key)
         out = KVContainer(self.env.tracker, kvc.layout,
                           self.config.page_size, tag=out_tag)
         for key, value in records:

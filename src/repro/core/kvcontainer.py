@@ -46,6 +46,12 @@ class KVContainer:
         self._spill_env = spill_env
         self._resident_budget = resident_page_budget
         self._spill_writer = None
+        #: Pin count: while positive, destructive operations
+        #: (``consume`` / ``free``) are refused.  The intermediate
+        #: cache (:mod:`repro.sched.cache`) pins containers that a
+        #: downstream stage is reading so eviction cannot pull pages
+        #: out from under a live iterator.
+        self.pins = 0
 
     # ------------------------------------------------------------- insert
 
@@ -142,8 +148,15 @@ class KVContainer:
 
         This is what lets Mimir's convert/reduce pipeline shrink the KV
         footprint while the KMV footprint grows, instead of holding
-        both in full.
+        both in full.  Refused while the container is pinned.
         """
+        if self.pins:
+            raise RuntimeError(
+                f"cannot consume pinned container {self.tag!r} "
+                f"({self.pins} pins held)")
+        return self._consume()
+
+    def _consume(self) -> Iterator[tuple[bytes, bytes]]:
         if self._spill_writer is not None:
             reader = self._spill_writer.reader()
             try:
@@ -165,8 +178,21 @@ class KVContainer:
 
     # ------------------------------------------------------------- manage
 
+    def pin(self) -> None:
+        """Protect the container from ``consume``/``free`` (refcounted)."""
+        self.pins += 1
+
+    def unpin(self) -> None:
+        if self.pins <= 0:
+            raise ValueError(f"unpin without matching pin on {self.tag!r}")
+        self.pins -= 1
+
     def free(self) -> None:
-        """Release every page and any spill file."""
+        """Release every page and any spill file.  Refused while pinned."""
+        if self.pins:
+            raise RuntimeError(
+                f"cannot free pinned container {self.tag!r} "
+                f"({self.pins} pins held)")
         while self.pages:
             self.pool.release(self.pages.pop())
         if self._spill_writer is not None:

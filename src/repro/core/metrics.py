@@ -25,6 +25,10 @@ class PhaseRecord:
     mem_before: int
     mem_after: int
     peak_so_far: int          # rank peak at phase end
+    #: Exchange rounds the phase ran (map+aggregate phases only).
+    rounds: int = 0
+    #: Bytes the phase's output container spilled to the PFS.
+    spilled_bytes: int = 0
 
     @property
     def duration(self) -> float:
@@ -58,6 +62,29 @@ class PhaseProfile:
                 peak_so_far=self.env.tracker.peak,
             ))
 
+    def annotate_last(self, *, rounds: int | None = None,
+                      spilled_bytes: int | None = None) -> None:
+        """Amend the most recent record with post-phase driver stats.
+
+        The ``phase`` context manager closes before the driver knows
+        its exchange-round count or how much the output spilled; the
+        driver back-fills those signals here so admission-control
+        estimators (see :mod:`repro.sched`) see real numbers.
+        """
+        if not self.records:
+            return
+        record = self.records[-1]
+        if rounds is not None:
+            record.rounds = rounds
+        if spilled_bytes is not None:
+            record.spilled_bytes = spilled_bytes
+
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.records)
+
+    def total_spilled(self) -> int:
+        return sum(r.spilled_bytes for r in self.records)
+
     def total_time(self) -> float:
         return sum(r.duration for r in self.records)
 
@@ -77,8 +104,9 @@ class PhaseProfile:
     def render(self) -> str:
         """Human-readable per-phase table."""
         lines = [f"{'phase':<16} {'time(s)':>10} {'mem delta':>12} "
-                 f"{'peak':>12}"]
+                 f"{'peak':>12} {'rounds':>7} {'spilled':>10}"]
         for r in self.records:
             lines.append(f"{r.name:<16} {r.duration:>10.4f} "
-                         f"{r.mem_delta:>+12d} {r.peak_so_far:>12d}")
+                         f"{r.mem_delta:>+12d} {r.peak_so_far:>12d} "
+                         f"{r.rounds:>7d} {r.spilled_bytes:>10d}")
         return "\n".join(lines)

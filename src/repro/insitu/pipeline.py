@@ -38,7 +38,8 @@ class InSituAnalytics:
 
     def __init__(self, env: RankEnv, sim: ParticleSimulation, *,
                  config: MimirConfig | None = None, level: int = 2,
-                 density: float = 0.01):
+                 density: float = 0.01, use_plan: bool = False,
+                 cache=None, trace=None):
         if not 1 <= level <= 21:
             raise ValueError(f"level must be in 1..21, got {level}")
         if not 0 < density <= 1:
@@ -50,6 +51,13 @@ class InSituAnalytics:
         self.level = level
         self.density = density
         self.threshold = max(1, int(density * sim.total_particles))
+        #: With ``use_plan`` each timestep's analysis runs as a
+        #: two-stage dataflow plan (salted per timestep) through
+        #: :mod:`repro.sched` - identical numbers, but schedulable
+        #: next to other jobs and visible in scheduler traces.
+        self.use_plan = use_plan
+        self._plan_cache = cache
+        self._plan_trace = trace
 
     # ------------------------------------------------------------ in-situ
 
@@ -67,16 +75,35 @@ class InSituAnalytics:
             for code in _codes.tolist():
                 ctx.emit(make_key(self.level, code), one)
 
-        kvs = self.mimir.map_items([None], map_fn)
-        counts = self.mimir.partial_reduce(kvs, oc_combine,
-                                           out_layout=self.config.layout)
+        if self.use_plan:
+            arrivals = self._analyse_plan(map_fn, timestep)
+        else:
+            kvs = self.mimir.map_items([None], map_fn)
+            counts = self.mimir.partial_reduce(kvs, oc_combine,
+                                               out_layout=self.config.layout)
+            arrivals = counts.consume()
         dense = {}
-        for key, value in counts.consume():
+        for key, value in arrivals:
             count = unpack_u64(value)
             if count >= self.threshold:
                 code = int.from_bytes(key[1:9], "little")
                 dense[code] = count
         return StepSummary(timestep, dense)
+
+    def _analyse_plan(self, map_fn, timestep: int):
+        """One timestep as a salted two-stage plan (same numbers)."""
+        from repro.sched.executor import PlanRunner
+        from repro.sched.plan import Plan
+
+        plan = Plan("insitu", self.config)
+        salt = f"t{timestep}"
+        counts = (plan.source([None], name="particles", salt=salt)
+                  .map(map_fn, name="bin", salt=salt)
+                  .partial_reduce(oc_combine, out_layout=self.config.layout,
+                                  name="density", salt=salt))
+        runner = PlanRunner(self.env, plan, cache=self._plan_cache,
+                            trace=self._plan_trace, job="insitu")
+        return runner.stream(counts)
 
     # ----------------------------------------------------------- post-hoc
 

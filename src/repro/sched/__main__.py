@@ -1,0 +1,10 @@
+"""``python -m repro.sched``: run the multi-job scheduler demo."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sched.demo import run_demo
+
+if __name__ == "__main__":
+    sys.exit(run_demo(sys.argv[1:] or None))

@@ -1,0 +1,281 @@
+"""Lowering a :class:`~repro.sched.plan.Plan` onto the Mimir driver.
+
+A :class:`PlanRunner` executes one rank's share of a plan.  Stages
+materialize on demand (:meth:`materialize` walks the DAG), and three
+cross-cutting services hook in by stage key:
+
+- the **intermediate cache** (:class:`~repro.sched.cache.StageCache`):
+  a ``cache()``-annotated stage consults it first and adopts its
+  output into it afterwards.  Hit/miss decisions are agreed
+  collectively (``all_true``) because a recompute runs collectives a
+  hit would skip - a rank-divergent decision would deadlock the job.
+- **stage-granular checkpoints** (:class:`~repro.ft.checkpoint.
+  CheckpointManager`): a ``checkpoint()``-annotated stage saves its
+  output under its stage key, so a restarted attempt (see
+  :func:`repro.ft.runner.run_with_recovery`) reloads completed stages
+  and re-executes only from the failed one.
+- the **trace** receives a ``stage-done`` event per executed stage,
+  stamped with the scheduler's cumulative clock offset.
+
+Cached inputs are *pinned* while a downstream stage reads them, so a
+concurrent cache eviction can never free pages under a live iterator,
+and they are read non-destructively (``consume=False``) so the next
+consumer still finds them intact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.cluster import RankEnv
+from repro.core.job import Mimir
+from repro.core.kvcontainer import KVContainer
+from repro.core.records import KVLayout
+from repro.sched.plan import Dataset, Plan, Stage
+
+
+class PlanRunner:
+    """Executes a plan's stages on one rank."""
+
+    def __init__(self, env: RankEnv, plan: Plan, *,
+                 cache=None, profile=None, trace=None, checkpoint=None,
+                 job: str | None = None, trace_offset: float = 0.0):
+        self.env = env
+        self.plan = plan
+        self.cache = cache
+        self.checkpoint = checkpoint
+        self.trace = trace
+        self.trace_offset = trace_offset
+        self.job = job or plan.name
+        self.mimir = Mimir(env, plan.config, profile=profile, trace=trace)
+        #: Times each stage *name* actually executed (restores and
+        #: cache hits do not count) - the observable that recompute
+        #: and stage-skip tests assert on.
+        self.stage_counts: dict[str, int] = {}
+        if cache is not None and cache.env is not env:
+            cache.attach(env)
+
+    # -------------------------------------------------------- materialize
+
+    def materialize(self, ds: "Dataset | Stage") -> KVContainer:
+        """The stage's output container, by whatever path is cheapest.
+
+        Cache hit beats checkpoint restore beats execution; a cached
+        stage that has to execute (or restore) is adopted into the
+        cache on the way out.
+        """
+        stage = ds.stage if isinstance(ds, Dataset) else ds
+        key = stage.key
+        comm = self.env.comm
+        use_cache = stage.cached and self.cache is not None
+        if use_cache:
+            if comm.all_true(self.cache.has(key)):
+                return self.cache.get(key)
+            # Some rank lost its copy: every rank drops and recomputes
+            # together, keeping the collective schedule in lockstep.
+            self.cache.drop(key)
+        kvc = None
+        if self.checkpoint is not None and stage.checkpointed \
+                and self.checkpoint.has(key):
+            kvc = self.checkpoint.load_kvc(
+                key, self._layout_of(stage), self.plan.config.page_size,
+                tag=f"kv_{stage.name}")
+        if kvc is None:
+            kvc = self._execute(stage)
+            if self.checkpoint is not None and stage.checkpointed:
+                self.checkpoint.save_kvc(key, kvc)
+        if use_cache:
+            self.cache.put(key, kvc, name=stage.name, job=self.job)
+            return self.cache.get(key)
+        return kvc
+
+    def _layout_of(self, stage: Stage) -> KVLayout:
+        """The record layout a stage's output was written with."""
+        if stage.op == "map":
+            return stage.params.get("layout") or self.plan.config.layout
+        if stage.op in ("reduce", "partial_reduce", "join"):
+            return stage.params.get("out_layout") or KVLayout()
+        if stage.op == "sort_local":
+            return self._layout_of(stage.parents[0])
+        raise ValueError(f"leaf stage {stage.name!r} has no KV output")
+
+    # ----------------------------------------------------------- execute
+
+    def _input(self, parent: Stage) -> tuple[KVContainer, bool]:
+        """Materialized parent + whether it must be preserved."""
+        kvc = self.materialize(parent)
+        preserved = parent.cached and self.cache is not None
+        return kvc, preserved
+
+    def _execute(self, stage: Stage) -> KVContainer:
+        runner = getattr(self, f"_run_{stage.op}", None)
+        if runner is None:
+            raise ValueError(
+                f"stage {stage.name!r}: op {stage.op!r} cannot be "
+                "materialized directly (feed it to a map)")
+        out = runner(stage)
+        self.stage_counts[stage.name] = \
+            self.stage_counts.get(stage.name, 0) + 1
+        if self.trace is not None:
+            self.trace.emit_abs(
+                self.trace_offset + self.env.comm.clock.time,
+                self.env.comm.rank, "stage-done",
+                f"{self.job}:{stage.name}", job=self.job,
+                stage=stage.name, key=stage.key)
+        return out
+
+    def _run_map(self, stage: Stage) -> KVContainer:
+        parent = stage.parents[0]
+        params = stage.params
+        common = dict(combine_fn=params.get("combine_fn"),
+                      partitioner=params.get("partitioner"),
+                      layout=params.get("layout"),
+                      out_tag=f"kv_{stage.name}")
+        if parent.op == "read_text":
+            return self.mimir.map_text_file(parent.params["path"], stage.fn,
+                                            **common)
+        if parent.op == "read_binary":
+            return self.mimir.map_binary_file(
+                parent.params["path"], parent.params["record_size"],
+                stage.fn, **common)
+        if parent.op == "source":
+            items = parent.params["items"]
+            if callable(items):
+                items = items()
+            return self.mimir.map_items(items, stage.fn, **common)
+        kvc, preserved = self._input(parent)
+        if preserved:
+            kvc.pin()
+        try:
+            return self.mimir.map_kvs(kvc, stage.fn, **common,
+                                      consume=not preserved)
+        finally:
+            if preserved:
+                kvc.unpin()
+
+    def _kv_parent(self, stage: Stage) -> tuple[KVContainer, bool]:
+        parent = stage.parents[0]
+        if parent.op in ("read_text", "read_binary", "source"):
+            raise ValueError(
+                f"stage {stage.name!r} ({stage.op}) needs a KV parent; "
+                f"{parent.name!r} is a raw input - map it first")
+        return self._input(parent)
+
+    def _run_reduce(self, stage: Stage) -> KVContainer:
+        kvc, preserved = self._kv_parent(stage)
+        if preserved:
+            kvc.pin()
+        try:
+            return self.mimir.reduce(
+                kvc, stage.fn, out_layout=stage.params.get("out_layout"),
+                out_tag=f"kv_{stage.name}", consume=not preserved)
+        finally:
+            if preserved:
+                kvc.unpin()
+
+    def _run_partial_reduce(self, stage: Stage) -> KVContainer:
+        kvc, preserved = self._kv_parent(stage)
+        if preserved:
+            kvc.pin()
+        try:
+            return self.mimir.partial_reduce(
+                kvc, stage.fn, out_layout=stage.params.get("out_layout"),
+                out_tag=f"kv_{stage.name}", consume=not preserved)
+        finally:
+            if preserved:
+                kvc.unpin()
+
+    def _run_sort_local(self, stage: Stage) -> KVContainer:
+        kvc, preserved = self._kv_parent(stage)
+        if preserved:
+            kvc.pin()
+        try:
+            return self.mimir.sort_local(
+                kvc, by_value=stage.params.get("by_value", False),
+                key_fn=stage.params.get("key_fn"),
+                out_tag=f"kv_{stage.name}", consume=not preserved)
+        finally:
+            if preserved:
+                kvc.unpin()
+
+    def _run_join(self, stage: Stage) -> KVContainer:
+        """Co-group: tag each side, shuffle by key, split in the reduce."""
+        sides = []
+        for tag, parent in zip((b"L", b"R"), stage.parents):
+            kvc, preserved = self._input(parent)
+            sides.append((tag, kvc, preserved))
+            if preserved:
+                kvc.pin()
+        try:
+            def feed(ctx, side):
+                tag, kvc, preserved = side
+                records = kvc.records() if preserved else kvc.consume()
+                for key, value in records:
+                    ctx.emit(key, tag + value)
+
+            union = self.mimir.map_items(
+                sides, feed, partitioner=stage.params.get("partitioner"),
+                layout=KVLayout(), out_tag=f"kv_{stage.name}_union")
+        finally:
+            for _tag, kvc, preserved in sides:
+                if preserved:
+                    kvc.unpin()
+
+        join_fn = stage.fn
+
+        def split(ctx, key, values):
+            lvals = [v[1:] for v in values if v[:1] == b"L"]
+            rvals = [v[1:] for v in values if v[:1] == b"R"]
+            join_fn(ctx, key, lvals, rvals)
+
+        return self.mimir.reduce(
+            union, split, out_layout=stage.params.get("out_layout"),
+            out_tag=f"kv_{stage.name}")
+
+    # ------------------------------------------------------------ results
+
+    def stream(self, ds: Dataset) -> Iterator[tuple[bytes, bytes]]:
+        """This rank's records of a dataset; frees transient outputs."""
+        stage = ds.stage
+        kvc = self.materialize(ds)
+        if stage.cached and self.cache is not None:
+            kvc.pin()
+            try:
+                yield from kvc.records()
+            finally:
+                kvc.unpin()
+        else:
+            try:
+                yield from kvc.records()
+            finally:
+                kvc.free()
+
+    def collect(self, ds: Dataset) -> list[tuple[bytes, bytes]]:
+        return list(self.stream(ds))
+
+    # ---------------------------------------------------------- iteration
+
+    def iterate(self, state: Any,
+                body: Callable[["PlanRunner", int, Any], Any], *,
+                until: Callable[[Any], bool] | None = None,
+                max_iters: int = 50) -> tuple[Any, int]:
+        """Run ``body(runner, i, state)`` until ``until(state)`` holds.
+
+        Each pass salts the plan, so stages *created inside the body*
+        get per-iteration identities (fresh cache/checkpoint keys)
+        while stages built before the loop keep theirs and hit the
+        cache every pass.  ``until`` must be deterministic from
+        ``state`` (it is evaluated on every rank).
+        """
+        base_salt = self.plan.salt
+        iterations = 0
+        for i in range(max_iters):
+            self.plan.salt = f"{base_salt}#i{i}"
+            try:
+                state = body(self, i, state)
+            finally:
+                self.plan.salt = base_salt
+            iterations = i + 1
+            if until is not None and until(state):
+                break
+        return state, iterations

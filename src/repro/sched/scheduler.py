@@ -1,0 +1,390 @@
+"""Multi-job scheduler with memory-aware admission control.
+
+Jobs are submitted with a priority and (optionally) a declared
+per-rank memory footprint; the scheduler gang-schedules batches of
+jobs onto the cluster's ranks in *rounds*.  A round admits jobs - in
+priority order - only while the sum of their footprints fits the
+per-rank memory budget (minus a safety reserve); the rest wait in the
+queue.  A job whose footprint alone exceeds the budget is admitted
+*degraded* (out-of-core spill enabled) if it allows it, instead of
+being allowed to OOM the rank.
+
+Admission is enforced, not advisory: when a round carries several
+jobs, each job's footprint is **reserved** against the rank's
+persistent :class:`~repro.memory.tracker.MemoryTracker` for the
+round's duration (a job's reservation converts into its working
+budget just before it runs).  A job that blows through its estimate
+OOMs the launch; the scheduler absorbs that (``allow_oom``), doubles
+the offending batch's estimates, resets the poisoned trackers and
+caches, and requeues - so a misdeclared job costs a retry, never a
+crashed schedule.
+
+Footprints not declared up front are *learned*: the estimator seeds
+from input size and refines from each completed job's observed peak
+(the :class:`~repro.core.metrics.PhaseProfile` signals feed the same
+number), so the second submission of a workload is admitted on real
+data.
+
+One :class:`~repro.sched.cache.StageCache` per rank survives across
+rounds (the trackers are reused via ``Cluster.run(trackers=...)``), so
+a later job reuses containers an earlier job cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.cluster import Cluster, RankEnv
+from repro.core.config import MimirConfig
+from repro.memory.limits import format_size, parse_size
+from repro.memory.tracker import MemoryTracker
+from repro.sched.cache import StageCache
+from repro.sched.executor import PlanRunner
+from repro.sched.plan import Plan
+
+
+@dataclass
+class SchedJob:
+    """One submitted job: ``fn(env, ctx)`` runs on every rank."""
+
+    name: str
+    fn: Callable[[RankEnv, "JobContext"], Any]
+    priority: int = 0
+    #: Declared per-rank peak footprint ("32K", bytes, or None to let
+    #: the estimator guess).
+    footprint: int | str | None = None
+    #: Total input bytes (seeds the estimate when no footprint given).
+    input_bytes: int = 0
+    #: May this job run with out-of-core spill when it cannot fit?
+    degradable: bool = True
+    config: MimirConfig | None = None
+
+
+@dataclass
+class JobContext:
+    """Per-rank handle a running job receives next to its ``env``."""
+
+    env: RankEnv
+    name: str
+    config: MimirConfig
+    cache: StageCache
+    trace: Any = None
+    #: Cumulative scheduler time at this round's launch; add the
+    #: rank's clock to place an event on the global timeline.
+    time_base: float = 0.0
+    degraded: bool = False
+
+    def runner(self, plan: Plan, *, profile=None,
+               checkpoint=None) -> PlanRunner:
+        """A :class:`PlanRunner` wired into the scheduler's services."""
+        return PlanRunner(self.env, plan, cache=self.cache,
+                          profile=profile, trace=self.trace,
+                          checkpoint=checkpoint, job=self.name,
+                          trace_offset=self.time_base)
+
+
+class FootprintEstimator:
+    """Per-rank footprint estimates: declared, learned, or seeded."""
+
+    #: Safety factor over a learned peak (workloads vary run to run).
+    HEADROOM = 1.25
+    #: Expansion of input bytes into working set (shuffle + grouping).
+    EXPANSION = 3.0
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.observed: dict[str, int] = {}
+
+    def estimate(self, job: SchedJob, config: MimirConfig) -> int:
+        observed = self.observed.get(job.name)
+        if job.footprint is not None:
+            declared = parse_size(job.footprint)
+            if observed is not None and observed > declared:
+                # The declaration was disproven (a measured peak - or
+                # an OOMed round - above it): trust the evidence.
+                return int(observed * self.HEADROOM)
+            return declared
+        if observed is not None:
+            return int(observed * self.HEADROOM)
+        fixed = 2 * config.comm_buffer_size + 4 * config.page_size
+        return fixed + int(job.input_bytes / self.nprocs * self.EXPANSION)
+
+    def observe(self, name: str, peak: int) -> None:
+        """Refine from a completed run's observed per-rank peak."""
+        self.observed[name] = max(peak, self.observed.get(name, 0))
+
+
+@dataclass
+class JobOutcome:
+    """Final record of one submitted job."""
+
+    name: str
+    returns: list[Any] | None = None
+    round: int = 0
+    queued_rounds: int = 0
+    peak_bytes: int = 0
+    estimate: int = 0
+    degraded: bool = False
+    failed: bool = False
+    error: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        return not self.failed and self.returns is not None
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one :meth:`Scheduler.run` drain."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    rounds: int = 0
+    total_elapsed: float = 0.0
+    ooms: int = 0
+
+    def outcome(self, name: str) -> JobOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(name)
+
+    def render_log(self) -> str:
+        lines = [f"{self.rounds} round(s), {self.total_elapsed:.3f}s "
+                 f"virtual, {self.ooms} oom(s)"]
+        for o in self.outcomes:
+            state = "FAILED" if o.failed else \
+                ("degraded" if o.degraded else "ok")
+            lines.append(
+                f"  {o.name:<16} round {o.round} "
+                f"(queued {o.queued_rounds}) est "
+                f"{format_size(o.estimate)} peak "
+                f"{format_size(o.peak_bytes)} [{state}]")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Queued:
+    job: SchedJob
+    seq: int
+    config: MimirConfig
+    estimate: int = 0
+    queued_rounds: int = 0
+    oom_retries: int = 0
+    degraded: bool = False
+
+
+class Scheduler:
+    """Admission-controlled multi-job queue over one cluster."""
+
+    def __init__(self, cluster: Cluster, *, reserve: float = 0.1,
+                 trace=None, max_oom_retries: int = 1):
+        if not 0 <= reserve < 1:
+            raise ValueError(f"reserve must be in [0, 1), got {reserve}")
+        self.cluster = cluster
+        self.reserve = reserve
+        self.trace = trace
+        self.max_oom_retries = max_oom_retries
+        self.estimator = FootprintEstimator(cluster.nprocs)
+        self.trackers = self._fresh_trackers()
+        self.caches = [StageCache(rank) for rank in range(cluster.nprocs)]
+        self._queue: list[_Queued] = []
+        self._seq = 0
+        #: Cumulative virtual time across every round run so far.
+        self.clock = 0.0
+        self.ooms = 0
+
+    def _fresh_trackers(self) -> list[MemoryTracker]:
+        limit = self.cluster.memory_limit_per_rank
+        return [MemoryTracker(limit) for _ in range(self.cluster.nprocs)]
+
+    def _emit(self, kind: str, label: str, *, at: float | None = None,
+              **data: Any) -> None:
+        if self.trace is not None:
+            self.trace.emit_abs(self.clock if at is None else at, -1,
+                                kind, label, **data)
+
+    # ------------------------------------------------------------- submit
+
+    def submit(self, job: "SchedJob | Callable", *, name: str | None = None,
+               **kwargs: Any) -> SchedJob:
+        """Queue a job (a :class:`SchedJob`, or ``fn`` plus fields)."""
+        if not isinstance(job, SchedJob):
+            job = SchedJob(name=name or getattr(job, "__name__", "job"),
+                           fn=job, **kwargs)
+        self._seq += 1
+        config = job.config or MimirConfig()
+        self._queue.append(_Queued(job, self._seq, config))
+        self._emit("submit", job.name, job=job.name,
+                   priority=job.priority)
+        return job
+
+    # ---------------------------------------------------------- admission
+
+    @property
+    def _budget(self) -> int | None:
+        limit = self.cluster.memory_limit_per_rank
+        if limit is None:
+            return None
+        return int(limit * (1.0 - self.reserve))
+
+    def _admit(self, round_no: int) -> list[_Queued]:
+        """Pick this round's batch; emit queue events for the rest.
+
+        Highest priority first (submission order breaks ties); jobs
+        are admitted while their summed footprints fit what is left of
+        the budget after persistent (cache) residency.  An oversized
+        head-of-queue job is never starved: it gets a round to itself,
+        degraded to out-of-core if its estimate exceeds even an empty
+        budget and it allows that.
+        """
+        ordered = sorted(self._queue, key=lambda q: (-q.job.priority, q.seq))
+        budget = self._budget
+        for queued in ordered:
+            queued.estimate = self.estimator.estimate(queued.job,
+                                                      queued.config)
+            queued.degraded = False
+        if budget is None:
+            admitted = ordered
+        else:
+            resident = max((t.current - cache.resident_bytes
+                            for t, cache in zip(self.trackers, self.caches)),
+                           default=0)
+            available = budget - resident
+            admitted = []
+            committed = 0
+            for queued in ordered:
+                if committed + queued.estimate <= available:
+                    admitted.append(queued)
+                    committed += queued.estimate
+            if not admitted:
+                head = ordered[0]
+                if head.estimate > available and head.job.degradable \
+                        and head.estimate > budget:
+                    head.degraded = True
+                    head.config = replace(head.config, out_of_core=True)
+                admitted = [head]
+        for queued in ordered:
+            if queued in admitted:
+                self._emit("admit", queued.job.name, job=queued.job.name,
+                           round=round_no, est=queued.estimate,
+                           degraded=queued.degraded)
+            else:
+                queued.queued_rounds += 1
+                self._emit("queue", queued.job.name, job=queued.job.name,
+                           round=round_no)
+        return admitted
+
+    # ------------------------------------------------------------- launch
+
+    def _launch(self, batch: list[_Queued]):
+        """Run one admitted batch in a single cluster launch."""
+        base = self.clock
+        trace = self.trace
+        reservations = [(q.job.name, q.estimate) for q in batch] \
+            if len(batch) > 1 else []
+
+        def batch_fn(env: RankEnv):
+            cache = self.caches[env.comm.rank]
+            cache.attach(env)
+            if trace is not None:
+                def on_event(kind, label, **data):
+                    trace.emit_abs(base + env.comm.clock.time,
+                                   env.comm.rank, kind, label, **data)
+                cache.on_event = on_event
+            # Gang reservation: every admitted job's footprint is held
+            # for the round, so combined over-admission fails here,
+            # not in the middle of some unlucky job's shuffle.
+            for name, estimate in reservations:
+                cache.ensure_room(estimate)
+                env.tracker.allocate(estimate, f"reserved:{name}")
+            results: dict[str, tuple[Any, int, float]] = {}
+            for queued in batch:
+                env.comm.barrier()
+                if reservations:
+                    env.tracker.free(queued.estimate,
+                                     f"reserved:{queued.job.name}")
+                else:
+                    cache.ensure_room(queued.estimate)
+                env.tracker.reset_peak()
+                start = env.tracker.current
+                ctx = JobContext(env=env, name=queued.job.name,
+                                 config=queued.config, cache=cache,
+                                 trace=trace, time_base=base,
+                                 degraded=queued.degraded)
+                value = queued.job.fn(env, ctx)
+                results[queued.job.name] = (
+                    value, env.tracker.peak - start, env.comm.clock.time)
+            cache.on_event = None
+            return results
+
+        return self.cluster.run(batch_fn, allow_oom=True,
+                                trackers=self.trackers)
+
+    # ---------------------------------------------------------------- run
+
+    def run(self) -> SchedulerReport:
+        """Drain the queue; returns one outcome per submitted job."""
+        report = SchedulerReport(ooms=0)
+        while self._queue:
+            report.rounds += 1
+            batch = self._admit(report.rounds)
+            result = self._launch(batch)
+            if result.ran_out_of_memory:
+                self._handle_oom(batch, result, report)
+                continue
+            self.clock += result.elapsed
+            for queued in batch:
+                self._queue.remove(queued)
+                per_rank = [r[queued.job.name] for r in result.returns]
+                peak = max(p for _v, p, _t in per_rank)
+                done_at = self.clock - result.elapsed + \
+                    max(t for _v, _p, t in per_rank)
+                self.estimator.observe(queued.job.name, peak)
+                self._emit("stage-done", f"{queued.job.name}:complete",
+                           at=done_at, job=queued.job.name,
+                           round=report.rounds)
+                report.outcomes.append(JobOutcome(
+                    name=queued.job.name,
+                    returns=[v for v, _p, _t in per_rank],
+                    round=report.rounds,
+                    queued_rounds=queued.queued_rounds,
+                    peak_bytes=peak, estimate=queued.estimate,
+                    degraded=queued.degraded))
+        report.total_elapsed = self.clock
+        report.ooms = self.ooms
+        return report
+
+    def _handle_oom(self, batch: list[_Queued], result,
+                    report: SchedulerReport) -> None:
+        """Absorb a blown estimate: reset state, bump, requeue."""
+        self.ooms += 1
+        blame = result.oom.tag if result.oom is not None else "?"
+        for queued in batch:
+            self._emit("oom", queued.job.name, job=queued.job.name,
+                       oom_rank=result.oom_rank, tag=blame)
+            queued.oom_retries += 1
+            # The whole batch shares the blame (the launch dies before
+            # per-job attribution): raise every estimate to at least
+            # what the rank actually held when it blew, so the next
+            # admission runs these jobs in solo rounds and the real
+            # offender OOMs alone.
+            blown = (result.oom.current + result.oom.requested) \
+                if result.oom is not None else 0
+            bumped = max(queued.estimate * 2, blown,
+                         self.estimator.observed.get(queued.job.name, 0))
+            self.estimator.observe(queued.job.name, bumped)
+            if queued.oom_retries > self.max_oom_retries:
+                self._queue.remove(queued)
+                report.outcomes.append(JobOutcome(
+                    name=queued.job.name, round=report.rounds,
+                    queued_rounds=queued.queued_rounds,
+                    estimate=queued.estimate, degraded=queued.degraded,
+                    failed=True,
+                    error=f"out of memory on rank {result.oom_rank}: "
+                          f"{result.oom}"))
+        # Aborted ranks never freed their allocations: the trackers'
+        # accounting (and any half-built cache entry) is unusable.
+        for cache in self.caches:
+            cache.clear()
+        self.trackers = self._fresh_trackers()

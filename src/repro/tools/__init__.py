@@ -7,13 +7,19 @@ timelines into the numbers and breakdowns the paper discusses.
 """
 
 from repro.tools.balance import ImbalanceReport
-from repro.tools.timeline import composition_at_peak, render_timeline
-from repro.tools.trace import Event, Trace
+from repro.tools.timeline import (
+    composition_at_peak,
+    render_job_lanes,
+    render_timeline,
+)
+from repro.tools.trace import SCHED_EVENT_KINDS, Event, Trace
 
 __all__ = [
     "Event",
     "ImbalanceReport",
+    "SCHED_EVENT_KINDS",
     "Trace",
     "composition_at_peak",
+    "render_job_lanes",
     "render_timeline",
 ]

@@ -14,6 +14,15 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 
+#: Event kinds emitted by the multi-job scheduler (:mod:`repro.sched`).
+#: ``submit``/``queue``/``admit`` track admission control, ``evict``
+#: the intermediate cache, ``stage-done`` dataflow progress, and
+#: ``oom`` a job that blew its footprint estimate.  The timeline
+#: renderer groups these into one lane per job id.
+SCHED_EVENT_KINDS = ("submit", "admit", "queue", "evict", "stage-done",
+                     "oom")
+
+
 @dataclass(frozen=True)
 class Event:
     """One traced occurrence on one rank."""
@@ -36,6 +45,20 @@ class Trace:
         """Record one event stamped with the rank's virtual clock."""
         event = Event(time=env.comm.clock.time, rank=env.comm.rank,
                       kind=kind, label=label, data=dict(data))
+        with self._lock:
+            self._events.append(event)
+
+    def emit_abs(self, time: float, rank: int, kind: str, label: str,
+                 **data: Any) -> None:
+        """Record one event at an explicit virtual time.
+
+        The scheduler lives *outside* any launch, so its events (and
+        events from jobs whose clocks restart at zero every launch)
+        are stamped with a cumulative time supplied by the caller.
+        ``rank`` is -1 for global scheduler decisions.
+        """
+        event = Event(time=time, rank=rank, kind=kind, label=label,
+                      data=dict(data))
         with self._lock:
             self._events.append(event)
 

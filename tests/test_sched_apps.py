@@ -1,0 +1,135 @@
+"""Golden ports: every Plan-API app matches its direct-driver twin."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import MimirConfig
+from repro.datasets.graph500 import edges_to_bytes, kronecker_edges
+from repro.datasets.points import normal_points, points_to_bytes
+from repro.datasets.words import uniform_text
+from repro.mpi import COMET
+from repro.sched import StageCache
+
+CFG = MimirConfig(page_size=2048, comm_buffer_size=2048,
+                  input_chunk_size=512)
+
+
+def make_cluster(nprocs=3):
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store("words.txt", uniform_text(1 << 12, seed=0))
+    cluster.pfs.store("graph.bin", edges_to_bytes(
+        kronecker_edges(5, edgefactor=8, seed=0)))
+    cluster.pfs.store("points.bin", points_to_bytes(
+        normal_points(256, seed=0)))
+    return cluster
+
+
+def run_pair(cluster, direct, planned):
+    """Run both lowerings on identical fresh state; return both."""
+    caches = [StageCache(rank) for rank in range(cluster.nprocs)]
+    a = cluster.run(direct).returns
+    b = cluster.run(lambda env: planned(env, caches)).returns
+    return a, b
+
+
+class TestWordCount:
+    @pytest.mark.parametrize("opts", [
+        {}, {"hint": True}, {"hint": True, "partial": True},
+        {"hint": True, "partial": True, "compress": True},
+    ])
+    def test_counts_identical(self, opts):
+        from repro.apps.wordcount import wordcount_mimir, wordcount_plan
+
+        cluster = make_cluster()
+        direct, planned = run_pair(
+            cluster,
+            lambda env: wordcount_mimir(env, "words.txt", CFG,
+                                        collect=True, **opts),
+            lambda env, caches: wordcount_plan(env, "words.txt", CFG,
+                                               collect=True, **opts))
+        for d, p in zip(direct, planned):
+            assert p.counts == d.counts
+            assert (p.unique_words, p.total_words) == \
+                (d.unique_words, d.total_words)
+            assert p.kv_bytes == d.kv_bytes
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("opts", [
+        {}, {"hint": True}, {"hint": True, "compress": True},
+    ])
+    @pytest.mark.parametrize("reuse", [True, False])
+    def test_scores_bitwise_identical(self, opts, reuse):
+        from repro.apps.pagerank import pagerank_mimir, pagerank_plan
+
+        cluster = make_cluster()
+        direct, planned = run_pair(
+            cluster,
+            lambda env: pagerank_mimir(env, "graph.bin", CFG,
+                                       iterations=3, **opts),
+            lambda env, caches: pagerank_plan(
+                env, "graph.bin", CFG, iterations=3, reuse=reuse,
+                cache=caches[env.comm.rank] if reuse else None, **opts))
+        for d, p in zip(direct, planned):
+            assert p.ranks == d.ranks  # exact float equality
+            assert p.iterations == d.iterations
+            assert p.final_delta == d.final_delta
+
+
+class TestBFS:
+    @pytest.mark.parametrize("opts", [
+        {}, {"hint": True, "compress": True}, {"keep_parents": True},
+    ])
+    @pytest.mark.parametrize("reuse", [True, False])
+    def test_traversal_identical(self, opts, reuse):
+        from repro.apps.bfs import bfs_mimir, bfs_plan
+
+        cluster = make_cluster()
+        direct, planned = run_pair(
+            cluster,
+            lambda env: bfs_mimir(env, "graph.bin", CFG, **opts),
+            lambda env, caches: bfs_plan(
+                env, "graph.bin", CFG, reuse=reuse,
+                cache=caches[env.comm.rank] if reuse else None, **opts))
+        for d, p in zip(direct, planned):
+            assert (p.root, p.levels, p.visited_local) == \
+                (d.root, d.levels, d.visited_local)
+            assert p.parents == d.parents
+
+
+class TestKMeans:
+    def test_clustering_identical(self):
+        from repro.apps.kmeans import kmeans_mimir, kmeans_plan
+
+        cluster = make_cluster()
+        direct, planned = run_pair(
+            cluster,
+            lambda env: kmeans_mimir(env, "points.bin", 4, CFG,
+                                     max_iterations=5),
+            lambda env, caches: kmeans_plan(env, "points.bin", 4, CFG,
+                                            max_iterations=5))
+        for d, p in zip(direct, planned):
+            assert np.array_equal(p.centroids, d.centroids)
+            assert p.iterations == d.iterations
+            assert p.sizes == d.sizes
+            assert p.inertia == d.inertia
+
+
+class TestInSitu:
+    def test_density_summaries_identical(self):
+        from repro.insitu.pipeline import InSituAnalytics
+        from repro.insitu.simulation import ParticleSimulation
+
+        def analyse(use_plan):
+            def job(env):
+                sim = ParticleSimulation(env, 256, seed=2)
+                analytics = InSituAnalytics(env, sim, config=CFG,
+                                            use_plan=use_plan)
+                return [analytics.analyse_step().dense_octants
+                        for _ in range(3)]
+
+            return Cluster(COMET, nprocs=3,
+                           memory_limit=None).run(job).returns
+
+        assert analyse(True) == analyse(False)
