@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Check relative links and anchors in README.md and docs/*.md.
+
+For every markdown link ``[text](target)``:
+
+- external targets (``http://``, ``https://``, ``mailto:``) are
+  skipped — CI must not depend on the network;
+- a relative path must exist on disk (resolved against the linking
+  file's directory);
+- a ``#fragment`` must match a heading in the target file (or the
+  linking file itself for bare ``#fragment`` links), using GitHub's
+  anchor slug rules (lowercase, punctuation stripped, spaces to
+  dashes).
+
+Exits non-zero listing every broken link.  Run from anywhere:
+``python scripts/check_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — ignoring images is fine, the rule is the same.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor rule (close enough for ASCII docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING.finditer(path.read_text()):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def doc_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    files += sorted((ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(ROOT)}: broken link "
+                                f"{target!r} (no such file)")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue  # anchors into non-markdown targets: skip
+            if fragment.lower() not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(ROOT)}: broken anchor "
+                    f"{target!r} (no heading "
+                    f"'#{fragment}' in {resolved.name})")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = doc_files()
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"checked {len(files)} file(s): all links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,37 @@ def cmd_pipeline(args) -> int:
                     platform=args.platform, memory_limit=args.memory)
 
 
+def cmd_report(args) -> int:
+    from repro.obs.chrome import validate_chrome_trace, write_chrome_trace
+    from repro.obs.report import (
+        load_trace_report,
+        run_pipeline_report,
+        run_wordcount_report,
+    )
+
+    if args.from_trace:
+        try:
+            report = load_trace_report(args.from_trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.from_trace}: {exc}")
+            return 1
+    elif args.app == "pipeline":
+        report = run_pipeline_report(nprocs=args.nprocs,
+                                     platform=args.platform,
+                                     memory_limit=args.memory)
+    else:
+        report = run_wordcount_report(nprocs=args.nprocs,
+                                      platform=args.platform)
+    print(report.render())
+    if args.trace_out:
+        data = write_chrome_trace(report.trace, args.trace_out)
+        validate_chrome_trace(data)
+        print(f"\nwrote Perfetto trace: {args.trace_out} "
+              f"({len(data['traceEvents'])} events) - open it at "
+              "https://ui.perfetto.dev")
+    return 0
+
+
 def cmd_compare(args) -> int:
     scale = BenchScale(extra_shift=args.shift)
     platform = scale.platform(PLATFORMS[args.platform])
@@ -182,6 +213,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--memory", default="512K",
                         help='per-rank memory budget (e.g. "512K")')
     p_pipe.set_defaults(fn=cmd_pipeline)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="run a job with full observability and render the report")
+    p_rep.add_argument(
+        "app", nargs="?", choices=["wordcount", "pipeline"],
+        default="wordcount",
+        help="what to profile: the WordCount benchmark or the "
+             "multi-job scheduler demo (default: wordcount)")
+    p_rep.add_argument("--platform", choices=sorted(PLATFORMS),
+                       default="comet")
+    p_rep.add_argument("--nprocs", type=int, default=4)
+    p_rep.add_argument("--memory", default="512K",
+                       help='per-rank budget for the pipeline report')
+    p_rep.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="also write Chrome/Perfetto trace_event "
+                            "JSON for ui.perfetto.dev")
+    p_rep.add_argument("--from-trace", default=None, metavar="FILE",
+                       help="skip running: rebuild the report from a "
+                            "Trace.to_json() file")
+    p_rep.set_defaults(fn=cmd_report)
     return parser
 
 

@@ -14,7 +14,7 @@ paper's "ran out of memory, data point missing" outcomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.io.pfs import ParallelFileSystem
@@ -24,6 +24,7 @@ from repro.mpi.comm import SimComm
 from repro.mpi.errors import RankFailedError
 from repro.mpi.platforms import Platform
 from repro.mpi.world import World
+from repro.obs.registry import MetricShard, MetricsRegistry
 
 
 @dataclass
@@ -34,6 +35,10 @@ class RankEnv:
     tracker: MemoryTracker
     pfs: ParallelFileSystem
     platform: Platform
+    #: This rank's metrics shard (see :mod:`repro.obs.registry`).  A
+    #: cluster launch substitutes a registry-backed shard; the default
+    #: standalone shard keeps directly constructed envs (tests) working.
+    metrics: MetricShard = field(default_factory=MetricShard)
 
     def charge_compute(self, nbytes: int) -> None:
         """Advance this rank's clock for processing ``nbytes`` of records."""
@@ -98,6 +103,10 @@ class Cluster:
         #: and into every rank's clock at :meth:`run`, so any job can
         #: be chaos-wrapped without code changes.
         self.chaos = chaos
+        #: Metrics registry shared by every launch on this cluster; the
+        #: scheduler's multi-round drains accumulate into one registry,
+        #: so ``metrics.totals()`` is the whole workload's story.
+        self.metrics = MetricsRegistry()
         self._trackers: list[MemoryTracker] = []
         #: Monotonic launch counter; combined with the cluster shape it
         #: gives fault-tolerance runs a nonce that invalidates stale
@@ -136,11 +145,15 @@ class Cluster:
                       nnodes=self.nodes)
         chaos = self.chaos
         self.pfs.chaos = chaos
+        self.pfs.metrics = self.metrics
 
         def rank_fn(comm: SimComm) -> Any:
             if chaos is not None:
                 comm.slowdown = chaos.slowdown_for(comm.rank)
-            env = RankEnv(comm, trackers[comm.rank], self.pfs, self.platform)
+            shard = self.metrics.shard(comm.rank)
+            comm.metrics = shard
+            env = RankEnv(comm, trackers[comm.rank], self.pfs, self.platform,
+                          metrics=shard)
             return fn(env, *args)
 
         try:

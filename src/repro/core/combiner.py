@@ -90,4 +90,9 @@ class Combiner:
         # Merging work is proportional to the records that went through
         # the bucket, not just the survivors.
         self.env.charge_compute(merged_bytes)
+        metrics = self.env.metrics
+        metrics.inc("core.combine.records_in", self.records_in)
+        metrics.inc("core.combine.merged", self.records_merged)
+        if self.partial_flushes:
+            metrics.inc("core.combine.flushes", self.partial_flushes)
         self.shuffler.finish()

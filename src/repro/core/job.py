@@ -97,6 +97,7 @@ class Mimir:
             spill_env=self.env if self.config.out_of_core else None)
         span = self.profile.phase("map+aggregate") if self.profile \
             else nullcontext()
+        started = self.env.comm.clock.time
         if self.trace is not None:
             self.trace.emit(self.env, "phase", "map+aggregate:start")
         with span:
@@ -121,6 +122,14 @@ class Mimir:
         if self.profile is not None:
             self.profile.annotate_last(rounds=shuffler.rounds,
                                        spilled_bytes=out.spilled_bytes)
+        metrics = self.env.metrics
+        metrics.inc("core.map.records", shuffler.records_sent)
+        metrics.inc("core.map.kv_bytes", shuffler.bytes_sent)
+        metrics.inc("core.map.rounds", shuffler.rounds)
+        if out.spilled_bytes:
+            metrics.inc("core.spill.bytes", out.spilled_bytes)
+        metrics.observe("core.phase.seconds",
+                        self.env.comm.clock.time - started)
         if self.trace is not None:
             self.trace.emit(self.env, "phase", "map+aggregate:end",
                             **self.last_map_stats)
@@ -286,6 +295,9 @@ class Mimir:
         self.env.comm.barrier()
         span = self.profile.phase("convert+reduce") if self.profile \
             else nullcontext()
+        started = self.env.comm.clock.time
+        if self.trace is not None:
+            self.trace.emit(self.env, "phase", "convert+reduce:start")
         with span:
             source = self._reusable(kvc, consume, "kv_regroup")
             out = KVContainer(
@@ -294,10 +306,22 @@ class Mimir:
                 spill_env=self.env if self.config.out_of_core else None)
             ctx = ReduceContext(out)
             reduced_bytes = 0
+            reduced_keys = 0
             for key, values in iter_grouped(self.env, source, self.config):
                 reduce_fn(ctx, key, values)
+                reduced_keys += 1
                 reduced_bytes += len(key) + sum(len(v) for v in values)
             self.env.charge_compute(reduced_bytes)
+        metrics = self.env.metrics
+        metrics.inc("core.reduce.keys", reduced_keys)
+        metrics.inc("core.reduce.bytes", reduced_bytes)
+        if out.spilled_bytes:
+            metrics.inc("core.spill.bytes", out.spilled_bytes)
+        metrics.observe("core.phase.seconds",
+                        self.env.comm.clock.time - started)
+        if self.trace is not None:
+            self.trace.emit(self.env, "phase", "convert+reduce:end",
+                            keys=reduced_keys)
         if self.profile is not None:
             self.profile.annotate_last(spilled_bytes=out.spilled_bytes)
         return out
@@ -310,10 +334,22 @@ class Mimir:
         self.env.comm.barrier()
         span = self.profile.phase("partial_reduce") if self.profile \
             else nullcontext()
+        started = self.env.comm.clock.time
+        if self.trace is not None:
+            self.trace.emit(self.env, "phase", "partial_reduce:start")
         with span:
             source = self._reusable(kvc, consume, "kv_refold")
             out = partial_reduce(self.env, source, pr_fn, self.config,
                                  out_layout, out_tag)
+        metrics = self.env.metrics
+        metrics.inc("core.partial_reduce.records", len(out))
+        if out.spilled_bytes:
+            metrics.inc("core.spill.bytes", out.spilled_bytes)
+        metrics.observe("core.phase.seconds",
+                        self.env.comm.clock.time - started)
+        if self.trace is not None:
+            self.trace.emit(self.env, "phase", "partial_reduce:end",
+                            records=len(out))
         if self.profile is not None:
             self.profile.annotate_last(spilled_bytes=out.spilled_bytes)
         return out

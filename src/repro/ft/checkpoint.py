@@ -146,6 +146,8 @@ class CheckpointManager:
         # Imported lazily: runner imports this module.
         from repro.ft.runner import FailureRecord
 
+        if kind in ("ckpt-invalid", "ckpt-stale"):
+            self.env.metrics.inc("ft.checkpoint.invalid")
         self.failure_log.append(
             FailureRecord(attempt=0, rank=self.env.comm.rank,
                           kind=kind, message=message))
@@ -222,6 +224,7 @@ class CheckpointManager:
         self._retrying_write(self._marker_path(phase), frame(b"ok",
                                                              self.nonce))
         self.env.comm.barrier()
+        self.env.metrics.inc("ft.checkpoint.saves")
 
     def save_kvc(self, phase: str, kvc: KVContainer) -> None:
         """Persist a phase's KVC output; collective (all ranks call).
@@ -244,6 +247,7 @@ class CheckpointManager:
             raise CheckpointNotFoundError(phase)
         blob = self._retrying_read(self._data_path(phase))
         self.bytes_read += len(blob)
+        self.env.metrics.inc("ft.checkpoint.restores")
         return unframe(blob, self.nonce)
 
     def load_kvc(self, phase: str, layout: KVLayout | None = None,

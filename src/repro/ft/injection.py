@@ -135,6 +135,12 @@ class ChaosPlan:
             self._op_index[rank] = n + 1
             return n
 
+    @staticmethod
+    def _count_fault(comm) -> None:
+        shard = getattr(comm, "metrics", None)
+        if shard is not None:
+            shard.inc("ft.faults.injected")
+
     # -------------------------------------------- FaultPlan-compatible
 
     def fail_at(self, tag: str, rank: int) -> "ChaosPlan":
@@ -192,6 +198,7 @@ class ChaosPlan:
         where = f"{op}:{path}#{n}"
         if self._roll("transient", rank, str(n), self.io_error_rate):
             if self._fire(InjectedFault("transient-io", rank, where)):
+                self._count_fault(comm)
                 raise TransientIOError(op, path, rank)
 
     def on_write(self, comm, path: str,
@@ -213,6 +220,7 @@ class ChaosPlan:
             fault = InjectedFault("torn-write", rank,
                                   f"write:{path}#{n}", f"kept {kept} bytes")
             if self._fire(fault):
+                self._count_fault(comm)
                 return data[:kept], TornWriteFailure(
                     path, rank, kept, len(data))
         if self._roll("corrupt", rank, str(n), self.corruption_rate):
@@ -221,6 +229,7 @@ class ChaosPlan:
             fault = InjectedFault("corruption", rank,
                                   f"write:{path}#{n}", f"bit {bit} flipped")
             if self._fire(fault):
+                self._count_fault(comm)
                 mutated = bytearray(data)
                 mutated[bit // 8] ^= 1 << (bit % 8)
                 return bytes(mutated), None

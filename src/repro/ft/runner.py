@@ -167,6 +167,7 @@ def run_with_recovery(cluster: Cluster, job: FTJob, *,
                 if (restarts_by_class[kind] > caps.get(kind, 0)
                         or attempt > max_restarts):
                     raise
+                cluster.metrics.shard(-1).inc("ft.restarts")
                 continue
             total_elapsed += result.elapsed
             return FTResult(result, attempt, total_elapsed, failures,

@@ -105,6 +105,9 @@ def retrying(comm: Any, fn: Callable[[], T], *,
         except TransientIOError as exc:
             if attempt == attempts:
                 raise RetriesExhaustedError(attempts, exc) from exc
+            shard = getattr(comm, "metrics", None)
+            if shard is not None:
+                shard.inc("io.pfs.retries")
             if on_retry is not None:
                 on_retry(attempt, exc)
             comm.advance(delay)

@@ -54,6 +54,16 @@ class ParallelFileSystem:
         #: Optional fault injector (see :class:`repro.ft.injection.
         #: ChaosPlan`); duck-typed to keep this substrate dependency-free.
         self.chaos: Any = None
+        #: Optional :class:`repro.obs.registry.MetricsRegistry` (duck-
+        #: typed) installed by the cluster harness; costed accesses are
+        #: then charged to the calling rank's metric shard.
+        self.metrics: Any = None
+
+    def _shard(self, comm: SimComm):
+        """The calling rank's metric shard, or ``None`` untracked."""
+        if self.metrics is None:
+            return None
+        return self.metrics.shard(comm.rank)
 
     def _require(self, path: str) -> bytearray:
         """Look up ``path`` or raise a descriptive not-found error.
@@ -116,6 +126,10 @@ class ParallelFileSystem:
             self.stats.bytes_read += len(data)
             self.stats.reads += 1
             self.stats._charge(path, len(data))
+        shard = self._shard(comm)
+        if shard is not None:
+            shard.inc("io.pfs.reads")
+            shard.inc("io.pfs.bytes_read", len(data))
         comm.advance(self._cost(len(data)))
         return data
 
@@ -135,6 +149,10 @@ class ParallelFileSystem:
             self.stats.bytes_written += len(data)
             self.stats.writes += 1
             self.stats._charge(path, len(data))
+        shard = self._shard(comm)
+        if shard is not None:
+            shard.inc("io.pfs.writes")
+            shard.inc("io.pfs.bytes_written", len(data))
         comm.advance(self._cost(len(data), write=True))
         if raise_after is not None:
             raise raise_after
@@ -158,6 +176,10 @@ class ParallelFileSystem:
             self.stats.bytes_written += len(data)
             self.stats.writes += 1
             self.stats._charge(path, len(data))
+        shard = self._shard(comm)
+        if shard is not None:
+            shard.inc("io.pfs.writes")
+            shard.inc("io.pfs.bytes_written", len(data))
         comm.advance(self._cost(len(data), write=True))
 
     def append(self, comm: SimComm, path: str, data: bytes | bytearray) -> int:
@@ -171,6 +193,10 @@ class ParallelFileSystem:
             self.stats.bytes_written += len(data)
             self.stats.writes += 1
             self.stats._charge(path, len(data))
+        shard = self._shard(comm)
+        if shard is not None:
+            shard.inc("io.pfs.writes")
+            shard.inc("io.pfs.bytes_written", len(data))
         comm.advance(self._cost(len(data), write=True))
         return offset
 

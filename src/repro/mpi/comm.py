@@ -50,6 +50,9 @@ class SimComm:
         #: unaffected - a straggler slows its own work, and the job
         #: feels it at the next synchronisation, as on real hardware.
         self.slowdown = 1.0
+        #: Optional per-rank metrics shard (see :mod:`repro.obs.
+        #: registry`), installed by the cluster harness at launch.
+        self.metrics = None
         self._loopback: list[tuple[int, Any]] = []  # self-sends
 
     # ------------------------------------------------------------ plumbing
@@ -58,6 +61,8 @@ class SimComm:
              reduce_fn: Callable[[Any, Any], Any] | None = None,
              root: int = 0) -> Any:
         assert self._engine is not None
+        if self.metrics is not None:
+            self.metrics.inc("mpi.collectives")
         result, new_clock = self._engine.collective(
             op, self.rank, payload, self.clock.time,
             reduce_fn=reduce_fn, root=root)
@@ -138,6 +143,10 @@ class SimComm:
         if len(sends) != self.size:
             raise ValueError(
                 f"alltoallv needs {self.size} send parts, got {len(sends)}")
+        if self.metrics is not None:
+            self.metrics.inc("mpi.alltoallv.rounds")
+            self.metrics.inc("mpi.alltoallv.bytes",
+                             sum(len(part) for part in sends))
         if self.size == 1:
             return [bytes(sends[0])]
         return self._run("alltoallv", [bytes(part) for part in sends])
@@ -149,6 +158,9 @@ class SimComm:
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
         nbytes = self._payload_bytes(obj)
+        if self.metrics is not None:
+            self.metrics.inc("mpi.ptp.messages")
+            self.metrics.inc("mpi.ptp.bytes", nbytes)
         if dest == self.rank or self.size == 1:
             self._loopback.append((tag, obj))
             return

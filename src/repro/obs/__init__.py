@@ -1,0 +1,57 @@
+"""Unified observability: metrics registry, span tracing, Perfetto export.
+
+Three pieces (see ``docs/observability.md``):
+
+- :mod:`repro.obs.registry` - the closed catalog of named counters /
+  gauges / histograms, per-rank :class:`MetricShard` storage, and the
+  collective :func:`reduce_metrics` aggregation.
+- :mod:`repro.obs.chrome` - Chrome/Perfetto ``trace_event`` JSON
+  export for :class:`repro.tools.trace.Trace`.
+- :mod:`repro.obs.report` - the ``repro report`` pipeline (phase
+  table, memory-at-peak composition, metric totals, job lanes).
+  **Imported lazily**: it pulls in the cluster harness, which itself
+  imports this package - ``import repro.obs.report`` explicitly when
+  you need it.
+"""
+
+from repro.obs.chrome import (
+    JOB_PID,
+    SCHED_PID,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.registry import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    METRICS,
+    Histogram,
+    MetricShard,
+    MetricSpec,
+    MetricsRegistry,
+    UnknownMetricError,
+    aggregate,
+    reduce_metrics,
+    register,
+)
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "JOB_PID",
+    "METRICS",
+    "SCHED_PID",
+    "Histogram",
+    "MetricShard",
+    "MetricSpec",
+    "MetricsRegistry",
+    "UnknownMetricError",
+    "aggregate",
+    "reduce_metrics",
+    "register",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

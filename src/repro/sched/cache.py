@@ -85,6 +85,12 @@ class StageCache:
         if self.on_event is not None:
             self.on_event(kind, label, **data)
 
+    def _metric(self, name: str) -> None:
+        # Only countable once attached; standalone unit-test caches
+        # (no env) fall back to ``stats`` alone.
+        if self.env is not None:
+            self.env.metrics.inc(name)
+
     def _touch(self, entry: CacheEntry) -> None:
         self._tick += 1
         entry.tick = self._tick
@@ -127,6 +133,7 @@ class StageCache:
         if entry.kvc is None:
             self._reload(entry)
         self.stats.hits += 1
+        self._metric("sched.cache.hits")
         return entry.kvc
 
     # ---------------------------------------------------------- eviction
@@ -152,6 +159,7 @@ class StageCache:
         entry.spill_path = path
         entry.spill_chunks = chunks
         self.stats.evictions += 1
+        self._metric("sched.cache.evictions")
         self._emit("evict", f"{entry.name}:spilled", job=entry.job,
                    key=entry.key, nbytes=entry.nbytes)
         return freed
@@ -170,6 +178,7 @@ class StageCache:
         entry.spill_path = None
         entry.spill_chunks = []
         self.stats.reloads += 1
+        self._metric("sched.cache.reloads")
 
     def ensure_room(self, nbytes: int) -> int:
         """Spill LRU entries until ``nbytes`` more would fit the budget.

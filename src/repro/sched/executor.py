@@ -73,6 +73,7 @@ class PlanRunner:
                 return self.cache.get(key)
             # Some rank lost its copy: every rank drops and recomputes
             # together, keeping the collective schedule in lockstep.
+            self.env.metrics.inc("sched.cache.misses")
             self.cache.drop(key)
         kvc = None
         if self.checkpoint is not None and stage.checkpointed \
@@ -116,6 +117,7 @@ class PlanRunner:
         out = runner(stage)
         self.stage_counts[stage.name] = \
             self.stage_counts.get(stage.name, 0) + 1
+        self.env.metrics.inc("sched.stages.executed")
         if self.trace is not None:
             self.trace.emit_abs(
                 self.trace_offset + self.env.comm.clock.time,

@@ -264,13 +264,16 @@ class Scheduler:
                     head.degraded = True
                     head.config = replace(head.config, out_of_core=True)
                 admitted = [head]
+        metrics = self.cluster.metrics.shard(-1)
         for queued in ordered:
             if queued in admitted:
+                metrics.inc("sched.admissions")
                 self._emit("admit", queued.job.name, job=queued.job.name,
                            round=round_no, est=queued.estimate,
                            degraded=queued.degraded)
             else:
                 queued.queued_rounds += 1
+                metrics.inc("sched.queued")
                 self._emit("queue", queued.job.name, job=queued.job.name,
                            round=round_no)
         return admitted
@@ -359,6 +362,7 @@ class Scheduler:
                     report: SchedulerReport) -> None:
         """Absorb a blown estimate: reset state, bump, requeue."""
         self.ooms += 1
+        self.cluster.metrics.shard(-1).inc("sched.ooms")
         blame = result.oom.tag if result.oom is not None else "?"
         for queued in batch:
             self._emit("oom", queued.job.name, job=queued.job.name,

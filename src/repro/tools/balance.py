@@ -58,7 +58,9 @@ class ImbalanceReport:
         """
         if self.maximum == 0:
             return 0.0
-        return 1.0 - self.mean / self.maximum
+        # The mean of near-identical values can round a hair past the
+        # maximum at extreme magnitudes; a fraction stays in [0, 1].
+        return max(0.0, 1.0 - self.mean / self.maximum)
 
     def render(self, label: str = "value") -> str:
         return (f"{label}: mean={self.mean:.1f} min={self.minimum:.1f} "

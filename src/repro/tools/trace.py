@@ -4,14 +4,22 @@ A :class:`Trace` collects typed events (phase boundaries, exchange
 rounds, spills, checkpoints, custom markers) with virtual timestamps
 and rank ids, and renders them as a merged timeline or exports JSON.
 Cheap enough to leave attached in tests; off by default everywhere.
+
+On top of flat events, :meth:`Trace.span` opens a nested begin/end
+*span* (kind ``"span"``, ``data["ph"]`` of ``"B"``/``"E"``) stamped
+with the rank's virtual clock; :meth:`Trace.to_chrome_trace` exports
+spans, phase boundaries, and instant events as Chrome/Perfetto
+``trace_event`` JSON, so any traced run opens in ``ui.perfetto.dev``
+(see :mod:`repro.obs.chrome`).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 
 #: Event kinds emitted by the multi-job scheduler (:mod:`repro.sched`).
@@ -62,6 +70,40 @@ class Trace:
         with self._lock:
             self._events.append(event)
 
+    # -------------------------------------------------------------- spans
+
+    def begin(self, env, name: str, **data: Any) -> None:
+        """Open a span on this rank at the current virtual time."""
+        self.emit(env, "span", name, ph="B", **data)
+
+    def end(self, env, name: str, **data: Any) -> None:
+        """Close the innermost open span named ``name`` on this rank."""
+        self.emit(env, "span", name, ph="E", **data)
+
+    @contextmanager
+    def span(self, env, name: str, **data: Any) -> Iterator[None]:
+        """Context manager wrapping a region in a begin/end span pair.
+
+        Spans nest: opening a span inside another yields the parent/
+        child hierarchy the Perfetto flame view renders.  The end event
+        is emitted even when the body raises, so exported traces stay
+        balanced.
+        """
+        self.begin(env, name, **data)
+        try:
+            yield
+        finally:
+            self.end(env, name)
+
+    def begin_abs(self, time: float, rank: int, name: str,
+                  **data: Any) -> None:
+        """Open a span at an explicit virtual time (scheduler lanes)."""
+        self.emit_abs(time, rank, "span", name, ph="B", **data)
+
+    def end_abs(self, time: float, rank: int, name: str,
+                **data: Any) -> None:
+        self.emit_abs(time, rank, "span", name, ph="E", **data)
+
     # ------------------------------------------------------------ queries
 
     @property
@@ -83,6 +125,32 @@ class Trace:
 
     def to_json(self) -> str:
         return json.dumps([asdict(e) for e in self.merged()], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Rebuild a trace saved with :meth:`to_json` (``repro report
+        --from-trace`` consumes this format)."""
+        loaded = json.loads(text)
+        if isinstance(loaded, dict):
+            hint = (" (this looks like a Chrome/Perfetto export; "
+                    "--from-trace wants Trace.to_json output)"
+                    if "traceEvents" in loaded else "")
+            raise ValueError(f"not a saved Trace: expected a JSON list "
+                             f"of events{hint}")
+        trace = cls()
+        for entry in loaded:
+            trace._events.append(Event(
+                time=entry["time"], rank=entry["rank"],
+                kind=entry["kind"], label=entry["label"],
+                data=dict(entry.get("data", {}))))
+        return trace
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Chrome/Perfetto ``trace_event`` JSON object (see
+        :func:`repro.obs.chrome.to_chrome_trace`)."""
+        from repro.obs.chrome import to_chrome_trace
+
+        return to_chrome_trace(self)
 
     def render(self, limit: int = 50) -> str:
         lines = [f"{'t(virt)':>10}  {'rank':>4}  {'kind':<10} label"]

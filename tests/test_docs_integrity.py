@@ -1,6 +1,7 @@
 """Documentation integrity: the docs describe the repo that exists."""
 
 import importlib
+import importlib.util
 import re
 from pathlib import Path
 
@@ -62,6 +63,55 @@ class TestDesignInventory:
         for fig in ("Fig. 1", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
                     "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14"):
             assert fig in text, f"{fig} missing from DESIGN.md"
+
+
+class TestObservabilityDocs:
+    def test_observability_example_executes(self, capsys):
+        """The first code block of docs/observability.md runs verbatim."""
+        doc = (ROOT / "docs" / "observability.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", doc, re.DOTALL)
+        assert blocks, "observability.md lost its runnable example"
+        exec(compile(blocks[0], "docs/observability.md", "exec"), {})
+        out = capsys.readouterr().out
+        assert "core.map.records" in out
+        assert "trace events" in out
+
+    def parse_reference_rows(self):
+        text = (ROOT / "docs" / "metrics-reference.md").read_text()
+        rows = {}
+        for match in re.finditer(
+                r"^\| `([a-z0-9_.]+)` \| (\w+) \| ([\w/]+) \| "
+                r"`([a-z0-9_.]+)` \|", text, re.MULTILINE):
+            name, kind, unit, module = match.groups()
+            rows[name] = (kind, unit, module)
+        return rows
+
+    def test_every_registered_metric_is_documented(self):
+        from repro.obs.registry import METRICS
+
+        rows = self.parse_reference_rows()
+        missing = sorted(set(METRICS) - set(rows))
+        assert not missing, (
+            f"metrics missing from docs/metrics-reference.md: {missing}")
+        for name, spec in METRICS.items():
+            assert rows[name] == (spec.kind, spec.unit, spec.module), (
+                f"stale row for {name}: doc says {rows[name]}, registry "
+                f"says {(spec.kind, spec.unit, spec.module)}")
+
+    def test_no_stale_documented_metrics(self):
+        from repro.obs.registry import METRICS
+
+        stale = sorted(set(self.parse_reference_rows()) - set(METRICS))
+        assert not stale, (
+            f"docs/metrics-reference.md documents unregistered "
+            f"metrics: {stale}")
+
+    def test_docs_links_and_anchors_resolve(self, capsys):
+        spec = importlib.util.spec_from_file_location(
+            "check_docs_links", ROOT / "scripts" / "check_docs_links.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main() == 0, capsys.readouterr().out
 
 
 class TestExperimentsDoc:

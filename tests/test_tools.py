@@ -9,6 +9,8 @@ from repro.core import Mimir, MimirConfig, pack_u64
 from repro.memory import MemoryTracker
 from repro.mpi import COMET
 from repro.tools import ImbalanceReport, composition_at_peak, render_timeline
+from repro.tools.timeline import render_job_lanes
+from repro.tools.trace import Trace
 
 
 class TestImbalanceReport:
@@ -115,6 +117,48 @@ class TestTimeline:
         text = render_timeline(t, width=40)
         bars = text.split("  peak=")[0]
         assert len(bars) <= 41
+
+    def test_lanes_empty_trace(self):
+        assert render_job_lanes(Trace()) == "(no scheduler events)"
+
+    def test_lanes_without_job_data_is_empty(self):
+        trace = Trace()
+        trace.emit_abs(0.1, -1, "admit", "anon")  # no job= payload
+        assert render_job_lanes(trace) == "(no scheduler events)"
+
+    def test_lanes_single_event(self):
+        # One event means t0 == t1; the renderer must not divide by
+        # the zero span.
+        trace = Trace()
+        trace.emit_abs(0.5, -1, "submit", "wc", job="wc")
+        text = render_job_lanes(trace, width=20)
+        assert "wc" in text and "S" in text
+
+    def test_lanes_collision_oom_beats_queue(self):
+        # Same cell, increasing precedence: X (oom) must overwrite q.
+        trace = Trace()
+        trace.emit_abs(1.0, -1, "queue", "wc", job="wc")
+        trace.emit_abs(1.0, -1, "oom", "wc", job="wc")
+        trace.emit_abs(2.0, -1, "stage-done", "wc:done", job="wc")
+        lane = render_job_lanes(trace, width=10).splitlines()[0]
+        assert "X" in lane and "q" not in lane
+
+    def test_lanes_collision_admit_beats_stage_done(self):
+        # Lower-precedence # must not overwrite an existing A.
+        trace = Trace()
+        trace.emit_abs(1.0, -1, "admit", "wc", job="wc")
+        trace.emit_abs(1.0, 0, "stage-done", "wc:map", job="wc")
+        trace.emit_abs(2.0, -1, "queue", "wc", job="wc")
+        lane = render_job_lanes(trace, width=10).splitlines()[0]
+        assert "A" in lane and "#" not in lane
+
+    def test_lanes_one_row_per_job(self):
+        trace = Trace()
+        trace.emit_abs(0.0, -1, "submit", "a", job="a")
+        trace.emit_abs(1.0, -1, "submit", "b", job="b")
+        lines = render_job_lanes(trace, width=12).splitlines()
+        assert len(lines) == 3  # two lanes + the legend
+        assert lines[0].startswith("a ") and lines[1].startswith("b ")
 
     def test_end_to_end_with_cluster_timeline(self):
         cluster = Cluster(COMET, nprocs=2, memory_limit=None,
