@@ -86,14 +86,8 @@ class Cluster:
         if nodes <= 0:
             raise ValueError(f"nodes must be positive, got {nodes}")
         self.nodes = nodes
-        if memory_limit == "auto":
-            # Ranks on one node split the node's memory evenly.
-            ranks_per_node = -(-self.nprocs // nodes)
-            self._limit: int | None = platform.node_memory // ranks_per_node
-        elif memory_limit is None:
-            self._limit = None
-        else:
-            self._limit = parse_size(memory_limit)
+        self._memory_limit_spec = memory_limit
+        self._limit = self._resolve_limit()
         # Ranks of one node contend for the node's PFS bandwidth.
         sharers = -(-self.nprocs // nodes)
         self.pfs = pfs or ParallelFileSystem(platform.pfs, sharers=sharers)
@@ -112,6 +106,33 @@ class Cluster:
         #: gives fault-tolerance runs a nonce that invalidates stale
         #: checkpoints from earlier, differently-configured runs.
         self.launches = 0
+
+    def _resolve_limit(self) -> int | None:
+        spec = self._memory_limit_spec
+        if spec == "auto":
+            # Ranks on one node split the node's memory evenly.
+            ranks_per_node = -(-self.nprocs // self.nodes)
+            return self.platform.node_memory // ranks_per_node
+        if spec is None:
+            return None
+        return parse_size(spec)
+
+    def resize(self, nprocs: int) -> None:
+        """Change the gang size for subsequent launches.
+
+        This is the membership actuator of the elastic layer
+        (:mod:`repro.ft.elastic`): a rank leave shrinks the gang, a
+        join or a scale-up grows it.  An ``"auto"`` memory limit is
+        re-derived from the new rank-per-node packing.  The shared PFS
+        (and anything on it - checkpoints, spills, staged input) is
+        deliberately untouched: storage outlives any one gang
+        incarnation, which is exactly what membership-change recovery
+        rebalances from.
+        """
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self._limit = self._resolve_limit()
 
     def signature(self) -> str:
         """Configuration fingerprint used to stamp checkpoints."""

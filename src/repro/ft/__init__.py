@@ -23,7 +23,12 @@ partial writes):
   whose checkpoints completed - so work lost to a failure is bounded
   by one phase instead of the whole job;
 - :func:`run_chaos_sweep` (``repro.ft.chaos``) sweeps seeded random
-  fault schedules over WordCount and checks bit-identical convergence.
+  fault schedules over WordCount and checks bit-identical convergence;
+- :mod:`repro.ft.elastic` adds the *reactive* layer: straggler
+  detection, speculative task re-execution, elastic gang membership
+  with checkpoint re-balancing, and a scaling policy
+  (:func:`run_elastic`, :class:`ElasticPolicy`,
+  :class:`ScalingPolicy`).
 """
 
 from repro.ft.checkpoint import (
@@ -42,14 +47,26 @@ from repro.ft.runner import (
     run_with_recovery,
 )
 
+_ELASTIC_NAMES = frozenset((
+    "ElasticContext", "ElasticPolicy", "ElasticResult",
+    "ElasticStageHooks", "MembershipChange", "ScalingPolicy",
+    "SpeculationReport", "StragglerEvicted", "StragglerMonitor",
+    "restore_rebalanced", "run_elastic", "speculative_map",
+))
+
+
 def __getattr__(name: str):
-    # Lazy: the harness pulls in app/benchmark machinery, and eager
+    # Lazy: the harnesses pull in app/benchmark machinery, and eager
     # import would also trip runpy's double-import warning for
     # ``python -m repro.ft.chaos``.
     if name in ("ChaosSweepResult", "ChaosRunRecord", "run_chaos_sweep"):
         from repro.ft import chaos
 
         return getattr(chaos, name)
+    if name in _ELASTIC_NAMES:
+        from repro.ft import elastic
+
+        return getattr(elastic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -61,13 +78,25 @@ __all__ = [
     "CheckpointManager",
     "CheckpointNotFoundError",
     "CheckpointStaleError",
+    "ElasticContext",
+    "ElasticPolicy",
+    "ElasticResult",
+    "ElasticStageHooks",
     "FailureRecord",
     "FTResult",
     "FaultPlan",
     "InjectedFault",
+    "MembershipChange",
+    "ScalingPolicy",
     "SimulatedRankFailure",
+    "SpeculationReport",
+    "StragglerEvicted",
+    "StragglerMonitor",
     "TornWriteFailure",
     "classify_failure",
+    "restore_rebalanced",
     "run_chaos_sweep",
+    "run_elastic",
     "run_with_recovery",
+    "speculative_map",
 ]

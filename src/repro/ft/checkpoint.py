@@ -73,6 +73,22 @@ def frame(payload: bytes, nonce: str) -> bytes:
             + _TAIL.pack(len(payload), zlib.crc32(payload)) + payload)
 
 
+def _marker_nparts(payload: bytes) -> int:
+    """Partition count a completion marker declares (``b"ok:<n>"``).
+
+    The declared gang size is what lets :meth:`CheckpointManager.
+    partition_count` tell a *complete* ``k``-rank checkpoint apart
+    from a *partial* ``n``-rank one (``n > k``) whose save died after
+    ``k`` marker writes - the two leave identical valid-partition
+    prefixes otherwise.  Raises :class:`CheckpointCorruptError` for
+    any other payload.
+    """
+    head, _sep, count = payload.partition(b":")
+    if head != b"ok" or not count.isdigit():
+        raise CheckpointCorruptError(f"marker payload {payload!r}")
+    return int(count)
+
+
 def unframe(blob: bytes, nonce: str) -> bytes:
     """Validate the envelope and return the payload.
 
@@ -134,11 +150,13 @@ class CheckpointManager:
 
     # ------------------------------------------------------------- paths
 
-    def _data_path(self, phase: str) -> str:
-        return f"ckpt/{self.job_id}/{phase}.{self.env.comm.rank}"
+    def _data_path(self, phase: str, part: int | None = None) -> str:
+        part = self.env.comm.rank if part is None else part
+        return f"ckpt/{self.job_id}/{phase}.{part}"
 
-    def _marker_path(self, phase: str) -> str:
-        return f"ckpt/{self.job_id}/{phase}.done.{self.env.comm.rank}"
+    def _marker_path(self, phase: str, part: int | None = None) -> str:
+        part = self.env.comm.rank if part is None else part
+        return f"ckpt/{self.job_id}/{phase}.done.{part}"
 
     # ---------------------------------------------------------- plumbing
 
@@ -172,23 +190,35 @@ class CheckpointManager:
 
     # ----------------------------------------------------------- queries
 
-    def _valid_local(self, phase: str) -> bool:
-        """This rank's data + marker exist and pass validation.
+    def _valid_local(self, phase: str, part: int | None = None,
+                     nparts: int | None = None) -> bool:
+        """Partition ``part``'s data + marker exist and pass validation.
 
-        Inspection is cost-free (``fetch``): deciding whether to
-        restore is a metadata scan; the charged read happens in
-        ``load_*``.  Invalid files are *reported*, never trusted.
+        ``part`` defaults to this rank's own partition.  ``nparts``
+        requires the marker to *declare* exactly that many partitions
+        (see :func:`_marker_nparts`); a mismatch means the marker is a
+        stale leftover from a save at a different gang size, so the
+        partition is rejected.  Inspection is cost-free (``fetch``):
+        deciding whether to restore is a metadata scan; the charged
+        read happens in ``load_*``.  Invalid files are *reported*,
+        never trusted.
         """
         pfs = self.env.pfs
-        marker, data = self._marker_path(phase), self._data_path(phase)
+        marker = self._marker_path(phase, part)
+        data = self._data_path(phase, part)
         if not (pfs.exists(marker) and pfs.exists(data)):
             return False
-        for path, check_payload in ((marker, b"ok"), (data, None)):
+        for path, is_marker in ((marker, True), (data, False)):
             try:
                 payload = unframe(pfs.fetch(path), self.nonce)
-                if check_payload is not None and payload != check_payload:
-                    raise CheckpointCorruptError(
-                        f"marker payload {payload!r}")
+                if is_marker:
+                    declared = _marker_nparts(payload)
+                    if nparts is not None and declared != nparts:
+                        self._report(
+                            "ckpt-geometry",
+                            f"{path!r}: declares {declared} partitions, "
+                            f"expected {nparts}")
+                        return False
             except CheckpointStaleError as exc:
                 self._report("ckpt-stale", f"{path!r}: {exc}")
                 return False
@@ -208,7 +238,56 @@ class CheckpointManager:
         partial or invalid checkpoint is simply recomputed and
         overwritten.
         """
-        return self.env.comm.all_true(self._valid_local(phase))
+        return self.env.comm.all_true(
+            self._valid_local(phase, nparts=self.env.comm.size))
+
+    # ----------------------------------------------- membership rebalance
+
+    def partition_count(self, phase: str) -> int:
+        """How many partitions a completed checkpoint was written with.
+
+        A checkpoint written by a gang of ``n`` ranks leaves valid
+        data + marker pairs for partitions ``0..n-1``, every marker
+        declaring ``n``.  Partition 0's marker names the geometry;
+        validating all ``n`` declared partitions against it (pure
+        metadata scans against the shared PFS, so every rank computes
+        the same answer without communicating) recovers ``n`` even
+        after the gang size changed - the discovery step of shard
+        re-balancing on membership change.  Returns 0 when the phase
+        never completed: a missing partition, or a marker declaring a
+        different geometry (a save that died between its data and
+        marker barriers leaves the previous gang size's markers over
+        partitions ``0..k``, which must *not* pass for a complete
+        ``k+1``-rank checkpoint), invalidates the whole phase.
+        """
+        pfs = self.env.pfs
+        marker0 = self._marker_path(phase, 0)
+        if not pfs.exists(marker0):
+            return 0
+        try:
+            declared = _marker_nparts(unframe(pfs.fetch(marker0),
+                                              self.nonce))
+        except CheckpointError as exc:
+            self._report("ckpt-invalid", f"{marker0!r}: {exc}")
+            return 0
+        if declared <= 0:
+            return 0
+        if all(self._valid_local(phase, part, nparts=declared)
+               for part in range(declared)):
+            return declared
+        return 0
+
+    def read_partition(self, phase: str, part: int) -> bytes:
+        """Validated payload of one partition, regardless of owner rank.
+
+        The restore side of re-balancing: after a membership change,
+        each surviving rank reads a contiguous block of the *old*
+        partitions (charged PFS reads, transient errors retried) and
+        re-shuffles their records to the new gang.
+        """
+        blob = self._retrying_read(self._data_path(phase, part))
+        self.bytes_read += len(blob)
+        return unframe(blob, self.nonce)
 
     # -------------------------------------------------------------- save
 
@@ -221,8 +300,9 @@ class CheckpointManager:
         # not yet written.  A crash here must leave ``has()`` false.
         if self.faults is not None:
             self.faults.check(f"ckpt:{phase}:precommit", self.env.comm.rank)
-        self._retrying_write(self._marker_path(phase), frame(b"ok",
-                                                             self.nonce))
+        self._retrying_write(
+            self._marker_path(phase),
+            frame(b"ok:%d" % self.env.comm.size, self.nonce))
         self.env.comm.barrier()
         self.env.metrics.inc("ft.checkpoint.saves")
 

@@ -1,0 +1,990 @@
+"""Reactive fault handling: stragglers, speculation, elastic membership.
+
+Checkpoint/restart (:mod:`repro.ft.runner`) treats every fault as
+fatal: tear the gang down, resubmit, replay from the last checkpoint.
+This module adds the *reactive* layer the paper's target machines
+(Mira, Comet) actually need at scale, where the common failure is not
+a crash but a slow rank, and where re-running the whole gang to shed
+one bad host is unaffordable.  Four mechanisms, one control loop:
+
+- **Straggler detection** (:class:`StragglerMonitor`): per-phase
+  progress comparison.  Every rank's busy time for a phase is
+  allgathered and compared against the median; ranks beyond a
+  configurable slowdown threshold are flagged (``ft.straggler.
+  flagged``).
+- **Speculative re-execution** (:func:`speculative_map`): the map
+  phase runs as a task pool; tasks still owned by a flagged rank past
+  the detection point are re-launched on the healthiest ranks.  First
+  result wins, the loser is killed, and lineage-derived task keys plus
+  CRC agreement make duplicates safe to discard.
+- **Dynamic membership** (:func:`run_elastic` +
+  :meth:`~repro.cluster.Cluster.resize`): a rank death or scheduled
+  leave is *promoted* from a fatal restart to a gang shrink; joins
+  grow the gang.  KV partitions checkpointed by the old gang are
+  re-balanced onto the new one (:func:`restore_rebalanced`), and a
+  partition lost with its rank is recomputed from lineage.
+- **Scaling policy** (:class:`ScalingPolicy`): grows/shrinks the gang
+  from scheduler queue depth and observed memory residency - the
+  sensor half comes from :mod:`repro.obs`, the actuator half is
+  :meth:`Cluster.resize` (see docs/architecture.md, "The elasticity
+  control loop").
+
+How speculation stays honest inside a virtual-time simulator: both
+attempts of a duplicated task *physically execute* (and must produce
+CRC-identical bytes), while their completion times feed a
+deterministic discrete-event schedule that every rank computes
+identically from allgathered durations.  Each rank then replaces its
+physically accumulated clock with its scheduled completion time
+(:meth:`SimComm.sync_time`), so the phase's makespan is exactly what
+first-result-wins semantics would yield - a straggler stops being
+charged at the point its last attempt is killed.
+
+This module must not import :mod:`repro.sched` (the scheduler imports
+it lazily), keeping the dependency arrow one-way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster import Cluster, RankEnv
+from repro.core.kvcontainer import KVContainer
+from repro.core.records import KVLayout
+from repro.core.shuffle import default_partitioner
+from repro.ft.checkpoint import CheckpointManager
+from repro.ft.faults import FaultPlan, SimulatedRankFailure
+from repro.ft.runner import (
+    FailureRecord,
+    FTResult,
+    classify_failure,
+    default_restart_caps,
+)
+from repro.io.errors import retrying
+from repro.io.splits import split_range, split_text
+from repro.mpi.errors import RankFailedError
+
+#: Failure kinds :func:`run_elastic` converts into gang shrinks
+#: instead of same-size restarts (when policy and budget allow).
+_SHRINKABLE = ("rank-death", "membership-leave", "straggler-evict")
+
+
+# --------------------------------------------------------------- policy
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """Knobs of the reactive layer; immutable and validated.
+
+    ``straggler_threshold`` is the slowdown multiple over the median
+    at which a rank is flagged; ``backup_overhead`` models the cost of
+    re-reading a duplicated task's input split on the backup host.
+    ``splits_per_rank`` sets task-pool granularity - more tasks mean
+    earlier per-task detection and finer re-balancing, at more
+    scheduling overhead (the paper's usual tradeoff).
+    """
+
+    straggler_threshold: float = 2.0
+    min_detect_seconds: float = 0.0
+    speculate: bool = True
+    backup_overhead: float = 0.05
+    evict_stragglers: bool = True
+    allow_leave: bool = True
+    allow_join: bool = True
+    max_membership_changes: int = 4
+    min_ranks: int = 1
+    max_ranks: int = 64
+    splits_per_rank: int = 4
+
+    def __post_init__(self):
+        if self.straggler_threshold <= 1.0:
+            raise ValueError(
+                f"straggler_threshold must be > 1 (a threshold at or "
+                f"below the median flags healthy ranks), got "
+                f"{self.straggler_threshold}")
+        if self.min_detect_seconds < 0:
+            raise ValueError(
+                f"min_detect_seconds must be >= 0, "
+                f"got {self.min_detect_seconds}")
+        if self.backup_overhead < 0:
+            raise ValueError(
+                f"backup_overhead must be >= 0, got {self.backup_overhead}")
+        if self.max_membership_changes < 0:
+            raise ValueError(
+                f"max_membership_changes must be >= 0, "
+                f"got {self.max_membership_changes}")
+        if self.min_ranks < 1:
+            raise ValueError(f"min_ranks must be >= 1, got {self.min_ranks}")
+        if self.max_ranks < self.min_ranks:
+            raise ValueError(
+                f"max_ranks {self.max_ranks} < min_ranks {self.min_ranks}")
+        if self.splits_per_rank < 1:
+            raise ValueError(
+                f"splits_per_rank must be >= 1, got {self.splits_per_rank}")
+
+
+# -------------------------------------------------------------- sensing
+
+
+class StragglerMonitor:
+    """Flags ranks whose phase progress lags the gang median.
+
+    The sensor half of the control loop: durations come either from a
+    live allgather of per-rank busy times (``flag``) or from the
+    metrics registry's per-rank ``core.phase.seconds`` summaries
+    (``flag_from_metrics``) - the same signal, one in-band and one
+    out-of-band.
+    """
+
+    def __init__(self, threshold: float = 2.0, min_gap: float = 0.0):
+        if threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be > 1, got {threshold}")
+        if min_gap < 0:
+            raise ValueError(f"min_gap must be >= 0, got {min_gap}")
+        self.threshold = threshold
+        self.min_gap = min_gap
+
+    @staticmethod
+    def _median(values: Sequence[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def flag(self, durations: "dict[int, float] | Sequence[float]",
+             ) -> list[int]:
+        """Ranks whose duration exceeds ``threshold`` x median.
+
+        ``min_gap`` suppresses flags when the absolute lag is noise
+        (phases measured in microseconds).  A non-positive median means
+        the phase did no measurable work anywhere - nothing to flag.
+        """
+        if isinstance(durations, dict):
+            items = sorted(durations.items())
+        else:
+            items = list(enumerate(durations))
+        if not items:
+            return []
+        median = self._median([d for _, d in items])
+        if median <= 0.0:
+            return []
+        return [rank for rank, d in items
+                if d > self.threshold * median
+                and (d - median) >= self.min_gap]
+
+    def flag_from_metrics(self, registry,
+                          name: str = "core.phase.seconds") -> list[int]:
+        """Flag from the observability registry's per-rank summaries.
+
+        ``registry.by_rank`` returns summary dicts per shard; the
+        cluster-wide shard (rank -1) is excluded - it never ran a
+        phase.
+        """
+        totals = {}
+        for rank, summary in registry.by_rank(name).items():
+            if rank < 0:
+                continue
+            totals[rank] = float(summary.get("total", 0.0)) \
+                if isinstance(summary, dict) else float(summary)
+        return self.flag(totals)
+
+
+# --------------------------------------------------- speculative tasks
+
+
+@dataclass
+class TaskAttempt:
+    """One duplicated task's race, resolved by the event schedule."""
+
+    task: int
+    key: str
+    primary_rank: int
+    primary_end: float
+    backup_rank: int
+    backup_end: float | None   # None: backup cancelled before starting
+    winner: str                # "primary" | "backup"
+
+
+@dataclass
+class SpeculationReport:
+    """What one :func:`speculative_map` phase observed and decided."""
+
+    stage_key: str
+    nranks: int
+    ntasks: int
+    busy: list[float]
+    flagged: list[int]
+    detect_at: float = 0.0
+    launched: int = 0
+    won: int = 0
+    discarded: int = 0
+    makespan_unmitigated: float = 0.0
+    makespan: float = 0.0
+    attempts: list[TaskAttempt] = field(default_factory=list)
+
+
+class _TaskEmit:
+    """MapContext-compatible sink collecting one task's records."""
+
+    __slots__ = ("records", "nemitted")
+
+    def __init__(self):
+        self.records: list[tuple[bytes, bytes]] = []
+        self.nemitted = 0
+
+    def emit(self, key: bytes, value: bytes) -> None:
+        self.records.append((key, value))
+        self.nemitted += 1
+
+
+def speculative_map(env: RankEnv, path: str,
+                    map_fn: Callable[[Any, bytes], None], *,
+                    config=None,
+                    policy: ElasticPolicy | None = None,
+                    stage_key: str = "map",
+                    combine_fn: Callable[[bytes, bytes, bytes], bytes]
+                    | None = None,
+                    partitioner: Callable[[bytes, int], int] | None = None,
+                    layout: KVLayout | None = None,
+                    out_tag: str | None = None,
+                    ctx: Any = None,
+                    splits_per_rank: int | None = None) -> KVContainer:
+    """Task-pool map over a text file with speculative re-execution.
+
+    The file is cut into ``nranks * splits_per_rank`` word-aligned
+    tasks; rank ``r`` primarily owns tasks ``r, r+size, ...``.  Every
+    rank runs its primaries physically, then the gang allgathers
+    per-task durations and output CRCs.  If a rank's busy time exceeds
+    the policy threshold over the median it is flagged; its tasks not
+    yet done at the detection point (``threshold`` x median *task*
+    duration - per-task granularity is what bounds the damage to a
+    fraction of the phase) are re-executed on the least-loaded healthy
+    ranks.  A replicated discrete-event schedule decides each race:
+    first result wins, the losing attempt is killed and discarded
+    (``ft.speculation.*`` metrics), and each rank's clock is replaced
+    by its scheduled completion time.  The winning attempt's bytes
+    feed the shuffle; since duplicates must agree CRC-for-CRC, output
+    is bit-identical to the unmitigated run.
+
+    Task keys ``{stage_key}/t{task}`` derive from the stage's lineage
+    key, so attempts of the same logical task are identifiable across
+    hosts and retries.  Returns the shuffled KVC (this rank's
+    partition), exactly like ``Mimir.map_text_file``.
+    """
+    comm = env.comm
+    policy = policy or ElasticPolicy()
+    part_fn = partitioner or default_partitioner
+    layout = layout or (config.layout if config is not None else KVLayout())
+    page_size = config.page_size if config is not None else 64 * 1024
+    out_of_core = bool(config is not None and config.out_of_core)
+    splits = splits_per_rank or policy.splits_per_rank
+    size = comm.size
+    ntasks = size * splits
+    threshold = policy.straggler_threshold
+    metrics = env.metrics
+
+    comm.barrier()
+    origin = max(comm.allgather(comm.clock.time))
+    comm.sync_time(origin)
+
+    # Metadata-only fetch for split geometry; the charged read happens
+    # per task below, so a re-executed task pays its input again.
+    data = env.pfs.fetch(path)
+
+    failure_log = getattr(ctx, "failure_log", None)
+
+    def on_retry(attempt: int, exc) -> None:
+        if failure_log is not None:
+            from repro.ft.runner import FailureRecord
+            failure_log.append(FailureRecord(
+                attempt=0, rank=comm.rank, kind="retry",
+                message=f"task read attempt {attempt}: {exc}"))
+
+    def run_task(task: int) -> tuple[int, bytes, float]:
+        started = comm.clock.time
+        lo, hi = split_text(data, task, ntasks)
+        chunk = retrying(
+            comm, lambda: env.pfs.read(comm, path, lo, hi - lo),
+            on_retry=on_retry) if hi > lo else b""
+        sink = _TaskEmit()
+        map_fn(sink, chunk)
+        records = sink.records
+        if combine_fn is not None and records:
+            merged: dict[bytes, bytes] = {}
+            for key, value in records:
+                held = merged.get(key)
+                merged[key] = value if held is None \
+                    else combine_fn(key, held, value)
+            records = sorted(merged.items())
+        encoded = b"".join(layout.encode(k, v) for k, v in records)
+        env.charge_compute(len(encoded))
+        return sink.nemitted, encoded, comm.clock.time - started
+
+    primaries = list(range(comm.rank, ntasks, size))
+    prim_out: dict[int, bytes] = {}
+    emitted = 0
+    local_report: list[tuple[int, float, int]] = []
+    for task in primaries:
+        nemitted, encoded, duration = run_task(task)
+        emitted += nemitted
+        prim_out[task] = encoded
+        local_report.append((task, duration, zlib.crc32(encoded)))
+
+    # Progress exchange: every rank learns every task's duration and
+    # output fingerprint, so detection and scheduling are replicated.
+    gathered = comm.allgather(local_report)
+    task_dur: dict[int, float] = {}
+    task_crc: dict[int, int] = {}
+    busy = [0.0] * size
+    for rank, report_part in enumerate(gathered):
+        for task, duration, crc in report_part:
+            task_dur[task] = duration
+            task_crc[task] = crc
+            busy[rank] += duration
+
+    monitor = StragglerMonitor(threshold, policy.min_detect_seconds)
+    flagged = monitor.flag(busy)
+    if len(flagged) >= size:
+        flagged = []          # everyone "slow" means nobody is
+    report = SpeculationReport(stage_key=stage_key, nranks=size,
+                               ntasks=ntasks, busy=list(busy),
+                               flagged=list(flagged),
+                               makespan_unmitigated=max(busy, default=0.0),
+                               makespan=max(busy, default=0.0))
+    if comm.rank in flagged:
+        metrics.inc("ft.straggler.flagged")
+
+    owner = {task: task % size for task in range(ntasks)}
+    finish = list(busy)
+    backup_out: dict[int, bytes] = {}
+    backup_hosts: dict[int, int] = {}
+
+    if flagged and policy.speculate and size > 1:
+        # Detection happens at per-*task* granularity: after
+        # threshold x median task durations a healthy observer knows a
+        # task is late.  This is what keeps the bound at a fraction of
+        # the phase instead of a multiple of it.
+        detect_at = max(threshold * monitor._median(list(task_dur.values())),
+                        policy.min_detect_seconds)
+        report.detect_at = detect_at
+        healthy = sorted((r for r in range(size) if r not in flagged),
+                         key=lambda r: (busy[r], r))
+
+        # Which tasks are still unfinished at the detection point?
+        # Each flagged rank runs its primaries serially in task order.
+        prim_done: dict[int, float] = {}
+        needs_backup: list[int] = []
+        for slow in flagged:
+            acc = 0.0
+            for task in range(slow, ntasks, size):
+                acc += task_dur[task]
+                prim_done[task] = acc
+                if acc > detect_at:
+                    needs_backup.append(task)
+        needs_backup.sort()
+        assignment = {task: healthy[i % len(healthy)]
+                      for i, task in enumerate(needs_backup)}
+
+        # Physically re-execute assigned backups (duplicate charge on
+        # the backup host's real clock; rescheduled below).
+        my_backups: list[tuple[int, float, int]] = []
+        for task in needs_backup:
+            if assignment[task] != comm.rank:
+                continue
+            _, encoded, duration = run_task(task)
+            backup_out[task] = encoded
+            my_backups.append((task, duration, zlib.crc32(encoded)))
+        backup_gathered = comm.allgather(my_backups)
+        backup_dur: dict[int, float] = {}
+        for report_part in backup_gathered:
+            for task, duration, crc in report_part:
+                if crc != task_crc[task]:
+                    raise RuntimeError(
+                        f"speculative duplicate of task "
+                        f"{stage_key}/t{task} diverged from its primary "
+                        f"(crc {crc:#010x} != {task_crc[task]:#010x}); "
+                        "map function is not deterministic")
+                backup_dur[task] = duration
+
+        # Replicated discrete-event schedule: every rank computes the
+        # same winners from the same allgathered durations.
+        host_free = {r: busy[r] for r in healthy}
+        winner_end: dict[int, float] = {}
+        for task in needs_backup:
+            host = assignment[task]
+            start_b = max(detect_at, host_free[host])
+            if prim_done[task] <= start_b:
+                # Primary finished before the backup could launch:
+                # the duplicate is cancelled unstarted, nothing to kill.
+                winner_end[task] = prim_done[task]
+                report.attempts.append(TaskAttempt(
+                    task, f"{stage_key}/t{task}", task % size,
+                    prim_done[task], host, None, "primary"))
+                continue
+            end_b = start_b + backup_dur[task] * (1.0 + policy.backup_overhead)
+            host_free[host] = end_b
+            report.launched += 1
+            if comm.rank == host:
+                metrics.inc("ft.speculation.launched")
+            backup_won = end_b < prim_done[task]
+            winner_end[task] = min(end_b, prim_done[task])
+            report.attempts.append(TaskAttempt(
+                task, f"{stage_key}/t{task}", task % size, prim_done[task],
+                host, end_b, "backup" if backup_won else "primary"))
+            if backup_won:
+                owner[task] = host
+                backup_hosts[task] = host
+                report.won += 1
+                report.discarded += 1
+                if comm.rank == host:
+                    metrics.inc("ft.speculation.won")
+                if comm.rank == task % size:
+                    # The straggler's attempt is killed at the
+                    # backup's completion; its bytes are dropped.
+                    metrics.inc("ft.speculation.discarded")
+            else:
+                report.discarded += 1
+                if comm.rank == host:
+                    # The backup lost the race; its bytes are dropped.
+                    metrics.inc("ft.speculation.discarded")
+
+        for rank in healthy:
+            finish[rank] = host_free[rank]
+        for slow in flagged:
+            # A straggler is done when its last surviving attempt is:
+            # either it finished the task itself, or the task's backup
+            # won and the straggler's attempt was killed at that point.
+            ends = [winner_end.get(task, prim_done[task])
+                    for task in range(slow, ntasks, size)]
+            finish[slow] = max(ends, default=busy[slow])
+        report.makespan = max(finish, default=0.0)
+
+    # Clock replacement: the physically accumulated time (including
+    # duplicate work and straggler slowdown already charged) becomes
+    # the scheduled completion time.
+    comm.sync_time(origin + finish[comm.rank])
+
+    # Shuffle the *winning* attempts' bytes.  The sender of a task's
+    # records is its final owner; record order within a destination is
+    # (source rank, task) - stable and replicated, though it differs
+    # from the unmitigated order, which is why harnesses compare
+    # *sorted* output.
+    sends = [bytearray() for _ in range(size)]
+    for task in sorted(owner):
+        if owner[task] != comm.rank:
+            continue
+        encoded = backup_out[task] if task in backup_hosts else prim_out[task]
+        for key, value in layout.iter_records(encoded):
+            sends[part_fn(key, size)] += layout.encode(key, value)
+    received = comm.alltoallv(sends)
+
+    out = KVContainer(env.tracker, layout, page_size,
+                      tag=out_tag or f"kv_{stage_key}",
+                      spill_env=env if out_of_core else None)
+    for buf in received:
+        out.extend_encoded(buf)
+
+    metrics.inc("core.map.records", emitted)
+    metrics.inc("core.map.kv_bytes", out.nbytes)
+    metrics.inc("core.map.rounds")
+    metrics.observe("core.phase.seconds", comm.clock.time - origin)
+    if ctx is not None:
+        ctx.record(report, env)
+    return out
+
+
+# ----------------------------------------------------------- membership
+
+
+class StragglerEvicted(SimulatedRankFailure):
+    """A flagged rank voluntarily leaves so the gang can shrink.
+
+    Raised at a job's eviction point by :meth:`ElasticContext.
+    maybe_evict`; :func:`run_elastic` promotes it to a membership
+    change (the plain restart driver retries it like a death).
+    """
+
+    failure_class = "straggler-evict"
+
+    def __init__(self, tag: str, rank: int):
+        super().__init__(tag, rank)
+        self.args = (f"straggler rank {rank} evicted at {tag!r}",)
+
+
+def restore_rebalanced(env: RankEnv, ckpt: CheckpointManager, phase: str, *,
+                       layout: KVLayout | None = None,
+                       page_size: int = 64 * 1024,
+                       partitioner: Callable[[bytes, int], int] | None = None,
+                       tag: str = "kv_rebalanced") -> KVContainer | None:
+    """Load a phase checkpoint across a membership change, or ``None``.
+
+    The shard re-balancing step: a checkpoint written by ``n`` ranks
+    is discovered (:meth:`CheckpointManager.partition_count` - free
+    metadata scans, so every rank agrees without communicating), each
+    surviving rank reads a contiguous block of the old partitions, and
+    records are re-shuffled to their new homes by the same partitioner
+    the job uses.  When the gang size is unchanged this degrades to a
+    plain per-rank restore.  Returns ``None`` when the phase never
+    completed (including when a partition died with its rank before
+    the markers committed) - the caller recomputes from lineage.
+    """
+    comm = env.comm
+    layout = layout or KVLayout()
+    part_fn = partitioner or default_partitioner
+    old_n = ckpt.partition_count(phase)
+    agreed = comm.allreduce(old_n, min)
+    if agreed == 0:
+        return None
+    if agreed == comm.size:
+        return ckpt.load_kvc(phase, layout, page_size, tag=tag)
+
+    lo, hi = split_range(agreed, comm.rank, comm.size)
+    sends = [bytearray() for _ in range(comm.size)]
+    moved = 0
+    for part in range(lo, hi):
+        payload = ckpt.read_partition(phase, part)
+        for key, value in layout.iter_records(payload):
+            record = layout.encode(key, value)
+            sends[part_fn(key, comm.size)] += record
+            moved += len(record)
+    env.charge_compute(moved)
+    received = comm.alltoallv(sends)
+    out = KVContainer(env.tracker, layout, page_size, tag=tag)
+    for buf in received:
+        out.extend_encoded(buf)
+    env.metrics.inc("ft.checkpoint.restores")
+    return out
+
+
+@dataclass
+class MembershipChange:
+    """One gang-size transition in an elastic run's history."""
+
+    attempt: int
+    kind: str          # "leave" | "join" | "evict" | "death"
+    rank: int | None
+    nprocs: int        # gang size *after* the change
+    at: float          # virtual time the triggering event carried
+    cause: str = ""
+
+
+@dataclass
+class ElasticResult(FTResult):
+    """Outcome of an elastic run: an FTResult plus membership history."""
+
+    membership_log: list[MembershipChange] = field(default_factory=list)
+    speculation: list[SpeculationReport] = field(default_factory=list)
+    final_nprocs: int = 0
+
+    @property
+    def membership_changes(self) -> int:
+        return len(self.membership_log)
+
+
+class ElasticContext:
+    """Per-run handle a job uses to talk to the elastic driver.
+
+    Bundles the fault plan (probe points), the policy, and the
+    speculation reports; shared across attempts so history survives
+    restarts.  Jobs call :meth:`probe` where chaos-wrapped jobs call
+    ``faults.check``, and may call :meth:`maybe_evict` after a phase
+    whose report flagged a straggler.
+    """
+
+    def __init__(self, policy: ElasticPolicy, faults: Any):
+        self.policy = policy
+        self.faults = faults
+        self.reports: list[SpeculationReport] = []
+        self.last_report: SpeculationReport | None = None
+        #: Eviction budget, decremented by :func:`run_elastic` as
+        #: membership changes accumulate.
+        self.membership_left = policy.max_membership_changes
+        self.min_ranks = policy.min_ranks
+        #: Absorbed-event sink shared with the driver's failure log, so
+        #: transient map-read retries are classified like checkpoint
+        #: retries.
+        self.failure_log: list[FailureRecord] = []
+
+    def probe(self, env: RankEnv, tag: str) -> None:
+        """A job checkpoint/phase boundary: faults may fire here."""
+        self.faults.check(tag, env.comm.rank)
+        if hasattr(self.faults, "membership_check"):
+            self.faults.membership_check(env.comm, tag)
+
+    def record(self, report: SpeculationReport, env: RankEnv) -> None:
+        """Collect a phase's speculation report (rank 0 appends)."""
+        self.last_report = report
+        if env.comm.rank == 0:
+            self.reports.append(report)
+
+    def maybe_evict(self, env: RankEnv, tag: str) -> None:
+        """Turn a persistent straggler into a membership departure.
+
+        If the last phase flagged stragglers and policy + budget allow
+        shrinking, the lowest flagged rank raises
+        :class:`StragglerEvicted`; the driver shrinks the gang and the
+        retry runs without the slow host.  Speculation already bounded
+        the *current* phase; eviction keeps the slowness from taxing
+        every future phase.
+        """
+        report = self.last_report
+        if report is None or not report.flagged:
+            return
+        if not (self.policy.evict_stragglers and self.policy.allow_leave):
+            return
+        if self.membership_left <= 0:
+            return
+        if env.comm.size - 1 < self.min_ranks:
+            return
+        victim = min(report.flagged)
+        if env.comm.rank == victim:
+            raise StragglerEvicted(tag, victim)
+
+
+def run_elastic(cluster: Cluster, job: Callable[..., Any], *,
+                policy: ElasticPolicy | None = None,
+                faults: Any = None,
+                job_id: str = "job",
+                max_restarts: int = 8,
+                restart_caps: dict[str, int] | None = None,
+                nonce: str | None = None) -> ElasticResult:
+    """Run ``job(env, ckpt, ctx)`` under the elastic membership driver.
+
+    Like :func:`~repro.ft.runner.run_with_recovery`, with death
+    *promoted*: a rank death, scheduled leave, or straggler eviction
+    shrinks the gang (``Cluster.resize``) instead of burning restart
+    budget, as long as the policy allows leaves, the membership budget
+    is not spent, and the gang stays at or above ``policy.min_ranks``.
+    Scheduled joins from the fault plan's membership schedule grow the
+    gang at launch boundaries.  Checkpoints survive membership changes
+    because the nonce is fixed for the whole run (not per gang size) -
+    :func:`restore_rebalanced` does the re-sharding.
+    """
+    policy = policy or ElasticPolicy()
+    plan = faults if faults is not None else FaultPlan()
+    ctx = ElasticContext(policy, plan)
+    if nonce is None:
+        from repro.ft.runner import _RUN_SEQ
+        nonce = f"{job_id}/elastic/run{next(_RUN_SEQ)}"
+    caps = dict(default_restart_caps(max_restarts))
+    if restart_caps:
+        caps.update(restart_caps)
+
+    previous_chaos = cluster.chaos
+    if hasattr(plan, "on_write"):
+        cluster.chaos = plan
+
+    total_elapsed = 0.0
+    failures: list[str] = []
+    failure_log: list[FailureRecord] = ctx.failure_log
+    membership_log: list[MembershipChange] = []
+    restarts_by_class: dict[str, int] = {}
+    last_clock = 0.0
+
+    def changes_left() -> int:
+        return policy.max_membership_changes - len(membership_log)
+
+    def shrink(attempt: int, kind: str, rank: int | None, at: float,
+               cause: str) -> None:
+        cluster.resize(cluster.nprocs - 1)
+        if rank is not None and hasattr(plan, "remove_rank"):
+            plan.remove_rank(rank)
+        membership_log.append(MembershipChange(
+            attempt, kind, rank, cluster.nprocs, at, cause))
+        ctx.membership_left = changes_left()
+        cluster.metrics.shard(-1).inc("ft.membership.changes")
+
+    def rank_fn(env: RankEnv) -> Any:
+        ckpt = CheckpointManager(env, job_id, nonce=nonce, faults=plan,
+                                 failure_log=failure_log)
+        return job(env, ckpt, ctx)
+
+    try:
+        for attempt in itertools.count(1):
+            # Launch-boundary membership sweep: joins grow the gang;
+            # leaves whose rank never reached a probe shrink it here.
+            if hasattr(plan, "membership_due"):
+                for event in plan.membership_due(last_clock,
+                                                nranks=cluster.nprocs):
+                    if event.kind == "join":
+                        if (policy.allow_join and changes_left() > 0
+                                and cluster.nprocs < policy.max_ranks):
+                            cluster.resize(cluster.nprocs + 1)
+                            membership_log.append(MembershipChange(
+                                attempt, "join", None, cluster.nprocs,
+                                event.at, "scheduled join"))
+                            ctx.membership_left = changes_left()
+                            cluster.metrics.shard(-1).inc(
+                                "ft.membership.changes")
+                    elif (policy.allow_leave and changes_left() > 0
+                            and cluster.nprocs > policy.min_ranks):
+                        shrink(attempt, "leave", event.rank, event.at,
+                               "scheduled leave (launch boundary)")
+            try:
+                result = cluster.run(rank_fn)
+            except RankFailedError as failure:
+                kind = classify_failure(failure.original)
+                lost_clocks = getattr(failure, "clocks", None) or [0.0]
+                lost = max(lost_clocks)
+                last_clock = max(last_clock, lost)
+                total_elapsed += lost
+                failures.append(str(failure.original))
+                failure_log.append(FailureRecord(
+                    attempt, failure.rank, kind,
+                    str(failure.original), lost))
+                promotable = (kind in _SHRINKABLE and policy.allow_leave
+                              and changes_left() > 0
+                              and cluster.nprocs > policy.min_ranks)
+                if promotable:
+                    change_kind = {"rank-death": "death",
+                                   "membership-leave": "leave",
+                                   "straggler-evict": "evict"}[kind]
+                    at = getattr(failure.original, "at", last_clock)
+                    shrink(attempt, change_kind, failure.rank, at,
+                           str(failure.original))
+                    continue
+                restarts_by_class[kind] = restarts_by_class.get(kind, 0) + 1
+                if (restarts_by_class[kind] > caps.get(kind, 0)
+                        or attempt > max_restarts + len(membership_log)):
+                    raise
+                cluster.metrics.shard(-1).inc("ft.restarts")
+                continue
+            total_elapsed += result.elapsed
+            return ElasticResult(result, attempt, total_elapsed, failures,
+                                 failure_log,
+                                 membership_log=membership_log,
+                                 speculation=list(ctx.reports),
+                                 final_nprocs=cluster.nprocs)
+        raise AssertionError("unreachable")
+    finally:
+        cluster.chaos = previous_chaos
+        cluster.pfs.chaos = previous_chaos
+
+
+# ----------------------------------------------------- scheduler bridge
+
+
+class ElasticStageHooks:
+    """Wires the reactive layer into a :class:`~repro.sched.executor.
+    PlanRunner`.
+
+    Passed as ``runner(plan, elastic=...)``: map stages over text
+    inputs run through :func:`speculative_map` (task keys derive from
+    the stage's lineage key), and every other executed stage's
+    duration feeds the straggler monitor via an allgather
+    (:meth:`observe_stage`).  Kept duck-typed on the scheduler side so
+    :mod:`repro.sched` never imports this module at import time.
+    """
+
+    def __init__(self, policy: ElasticPolicy | None = None):
+        self.policy = policy or ElasticPolicy()
+        self.monitor = StragglerMonitor(self.policy.straggler_threshold,
+                                        self.policy.min_detect_seconds)
+        self.reports: list[SpeculationReport] = []
+        self.last_report: SpeculationReport | None = None
+        #: Flagged ranks by stage name, from :meth:`observe_stage`.
+        self.flags: dict[str, list[int]] = {}
+
+    def map_text(self, env: RankEnv, path: str, stage, config) -> KVContainer:
+        """Run a text-input map stage speculatively."""
+        params = stage.params
+        return speculative_map(
+            env, path, stage.fn, config=config, policy=self.policy,
+            stage_key=stage.key, combine_fn=params.get("combine_fn"),
+            partitioner=params.get("partitioner"),
+            layout=params.get("layout"), out_tag=f"kv_{stage.name}",
+            ctx=self)
+
+    def record(self, report: SpeculationReport, env: RankEnv) -> None:
+        self.last_report = report
+        if env.comm.rank == 0:
+            self.reports.append(report)
+
+    def observe_stage(self, env: RankEnv, stage, seconds: float) -> list[int]:
+        """Progress-monitor a non-speculative stage (collective call)."""
+        durations = env.comm.allgather(seconds)
+        flagged = self.monitor.flag(durations)
+        if len(flagged) >= env.comm.size:
+            flagged = []
+        if flagged:
+            self.flags[stage.name] = flagged
+            if env.comm.rank in flagged:
+                env.metrics.inc("ft.straggler.flagged")
+        return flagged
+
+
+# -------------------------------------------------------------- scaling
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """Grows/shrinks the gang from queue depth and memory residency.
+
+    The autoscaler half of the control loop, consumed by the dataflow
+    scheduler: ``decide`` maps the sensors (ready-queue depth from the
+    scheduler, peak memory residency from the trackers) to a target
+    gang size.  Residency dominates - an almost-full memory budget
+    grows the gang even when the queue is short, and shrinking is
+    refused until residency is comfortably low, so scale-downs never
+    cause the OOM they are supposed to be irrelevant to.
+    """
+
+    min_ranks: int = 1
+    max_ranks: int = 64
+    #: Target ready-queue jobs per rank; deeper queues grow the gang.
+    jobs_per_rank: float = 1.0
+    grow_residency: float = 0.80
+    shrink_residency: float = 0.30
+    step: int = 1
+
+    def __post_init__(self):
+        if self.min_ranks < 1:
+            raise ValueError(f"min_ranks must be >= 1, got {self.min_ranks}")
+        if self.max_ranks < self.min_ranks:
+            raise ValueError(
+                f"max_ranks {self.max_ranks} < min_ranks {self.min_ranks}")
+        if self.jobs_per_rank <= 0:
+            raise ValueError(
+                f"jobs_per_rank must be positive, got {self.jobs_per_rank}")
+        if not 0.0 <= self.shrink_residency <= self.grow_residency <= 1.0:
+            raise ValueError(
+                f"need 0 <= shrink_residency <= grow_residency <= 1, got "
+                f"{self.shrink_residency} / {self.grow_residency}")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+    def decide(self, *, queue_depth: int, residency: float,
+               nprocs: int) -> int:
+        """Target gang size for the next scheduling round."""
+        wanted = -(-queue_depth // max(self.jobs_per_rank, 1e-9)) \
+            if queue_depth else 0
+        wanted = int(wanted)
+        target = nprocs
+        if residency >= self.grow_residency or wanted > nprocs:
+            target = nprocs + self.step
+        elif wanted < nprocs and residency <= self.shrink_residency:
+            target = nprocs - self.step
+        return max(self.min_ranks, min(self.max_ranks, target))
+
+
+# -------------------------------------------------------------- harness
+#
+# The elastic analog of :mod:`repro.ft.chaos`: a checkpointed
+# WordCount whose map runs through :func:`speculative_map`, used by
+# tests and ``benchmarks/bench_straggler_mitigation.py``.  The map
+# combines locally, so shuffle/checkpoint/reduce traffic is tiny
+# relative to map I/O - the regime where speculation's bound is
+# visible instead of drowned by fixed costs.
+
+ELASTIC_TAGS = ("start", "after_shuffle", "after_reduce",
+                "ckpt:shuffle:precommit")
+ELASTIC_CFG = None  # assigned below; MimirConfig import kept local
+ELASTIC_TEXT = (b"oak elm ash fir oak elm oak yew ash oak pine fir "
+                b"cedar yew larch teak ") * 7200
+ELASTIC_INPUT = "input/elastic_words.txt"
+
+
+def _elastic_cfg():
+    global ELASTIC_CFG
+    if ELASTIC_CFG is None:
+        from repro.core import MimirConfig
+        ELASTIC_CFG = MimirConfig(page_size=2048, comm_buffer_size=2048,
+                                  input_chunk_size=512)
+    return ELASTIC_CFG
+
+
+def _wc_map(ctx, chunk: bytes) -> None:
+    from repro.core import pack_u64
+    one = pack_u64(1)
+    for word in chunk.split():
+        ctx.emit(word, one)
+
+
+def _wc_combine(key: bytes, a: bytes, b: bytes) -> bytes:
+    from repro.core import pack_u64, unpack_u64
+    return pack_u64(unpack_u64(a) + unpack_u64(b))
+
+
+def make_elastic_cluster(nprocs: int = 4) -> Cluster:
+    """A fresh cluster with the harness input staged (one per run)."""
+    from repro.mpi import COMET
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    cluster.pfs.store(ELASTIC_INPUT, ELASTIC_TEXT)
+    return cluster
+
+
+def elastic_wordcount(env: RankEnv, ckpt: CheckpointManager,
+                      ctx: ElasticContext):
+    """Checkpointed speculative WordCount; the elastic chaos target.
+
+    Returns this rank's sorted ``(word, count)`` share; compare runs
+    with :func:`global_counts` - membership changes re-partition keys,
+    so only the merged multiset is invariant.
+    """
+    from repro.core import Mimir, unpack_u64
+    cfg = _elastic_cfg()
+    ctx.probe(env, "start")
+
+    kvs = restore_rebalanced(env, ckpt, "shuffle", layout=cfg.layout,
+                             page_size=cfg.page_size)
+    if kvs is None:
+        kvs = speculative_map(env, ELASTIC_INPUT, _wc_map, config=cfg,
+                              policy=ctx.policy, stage_key="map",
+                              combine_fn=_wc_combine, ctx=ctx)
+        ckpt.save_kvc("shuffle", kvs)
+        ctx.probe(env, "after_shuffle")
+        ctx.maybe_evict(env, "post-map")
+
+    out = Mimir(env, cfg).partial_reduce(kvs, _wc_combine)
+    ctx.probe(env, "after_reduce")
+    counts = tuple(sorted((k, unpack_u64(v)) for k, v in out.records()))
+    out.free()
+    return counts
+
+
+def sweep_wordcount(env: RankEnv, ckpt: CheckpointManager,
+                    ctx: ElasticContext):
+    """The straggler-sweep target: speculative map + reduce, no
+    checkpoint.
+
+    Pure-straggler schedules never restart, so a checkpoint would be
+    dead weight on COMET's penalized writes; dropping it keeps the job
+    map-dominated, the regime the speculation bound is stated for.
+    """
+    from repro.core import Mimir, unpack_u64
+    cfg = _elastic_cfg()
+    ctx.probe(env, "start")
+    kvs = speculative_map(env, ELASTIC_INPUT, _wc_map, config=cfg,
+                          policy=ctx.policy, stage_key="map",
+                          combine_fn=_wc_combine, ctx=ctx)
+    out = Mimir(env, cfg).partial_reduce(kvs, _wc_combine)
+    ctx.probe(env, "after_reduce")
+    counts = tuple(sorted((k, unpack_u64(v)) for k, v in out.records()))
+    out.free()
+    return counts
+
+
+def global_counts(returns: list) -> tuple:
+    """Gang-size-independent fingerprint of the per-rank outputs."""
+    merged: dict[bytes, int] = {}
+    for part in returns:
+        for key, count in part or ():
+            merged[key] = merged.get(key, 0) + count
+    return tuple(sorted(merged.items()))
+
+
+def straggler_plan(seed: int, nprocs: int, *,
+                   factor_range: tuple[float, float] = (4.0, 8.0)):
+    """A seeded one-straggler schedule (rank and factor drawn from
+    ``seed``)."""
+    import random
+
+    from repro.ft.injection import ChaosPlan
+    rng = random.Random(seed)
+    rank = rng.randrange(nprocs)
+    factor = round(rng.uniform(*factor_range), 2)
+    return ChaosPlan(seed, stragglers={rank: factor})

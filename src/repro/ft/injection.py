@@ -58,10 +58,62 @@ class InjectedFault:
     """One fault the plan actually fired (or armed, for stragglers)."""
 
     kind: str    # "transient-io" | "torn-write" | "corruption"
-    #          | "rank-death" | "straggler"
+    #          | "rank-death" | "straggler" | "membership-leave"
     rank: int
     where: str   # tag, or "op:path#opindex"
     detail: str = ""
+
+
+class RankLeaveEvent(SimulatedRankFailure):
+    """A scheduled membership departure (not a crash).
+
+    Raised by :meth:`ChaosPlan.membership_check` when a rank's
+    scheduled leave time has passed.  An elastic driver
+    (:func:`repro.ft.elastic.run_elastic`) promotes it from a fatal
+    restart to a gang-shrink; the plain restart driver treats it like
+    a rank death.
+    """
+
+    #: Consumed by :func:`repro.ft.runner.classify_failure`.
+    failure_class = "membership-leave"
+
+    def __init__(self, tag: str, rank: int, at: float):
+        super().__init__(tag, rank)
+        self.at = at
+        self.args = (f"scheduled leave of rank {rank} at {tag!r} "
+                     f"(due t={at:g})",)
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One scheduled membership change: ``rank`` leaves/joins at ``at``.
+
+    ``at`` is a virtual time; the event becomes *due* once the
+    observing clock passes it.  A ``join`` carries no rank identity
+    (the new rank gets the next id when the gang grows); a ``leave``
+    names the rank that departs.
+    """
+
+    at: float
+    kind: str          # "leave" | "join"
+    rank: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("leave", "join"):
+            raise ValueError(
+                f"membership event kind must be 'leave' or 'join', "
+                f"got {self.kind!r}")
+        if not self.at >= 0.0:  # also rejects NaN
+            raise ValueError(
+                f"membership event time must be >= 0, got {self.at!r}")
+        if self.kind == "leave":
+            if self.rank is None or self.rank < 0:
+                raise ValueError(
+                    f"leave event needs a non-negative rank, "
+                    f"got {self.rank!r}")
+        elif self.rank is not None:
+            raise ValueError("join events assign the next rank id; "
+                             f"got explicit rank {self.rank!r}")
 
 
 class ChaosPlan:
@@ -82,6 +134,7 @@ class ChaosPlan:
                  corruption_rate: float = 0.0,
                  tag_death_rate: float = 0.0,
                  stragglers: dict[int, float] | None = None,
+                 membership: "list[MembershipEvent | tuple] | None" = None,
                  corruptible_prefix: str = "ckpt/",
                  max_faults: int = 8):
         for name, rate in (("io_error_rate", io_error_rate),
@@ -96,6 +149,19 @@ class ChaosPlan:
         self.corruption_rate = corruption_rate
         self.tag_death_rate = tag_death_rate
         self.stragglers = dict(stragglers or {})
+        # Mid-run membership schedule, validated at construction like
+        # the straggler-factor check: a malformed event is a harness
+        # bug, not a survivable fault.
+        events = [ev if isinstance(ev, MembershipEvent)
+                  else MembershipEvent(*ev) for ev in (membership or [])]
+        seen_events = set()
+        for ev in events:
+            point = (ev.kind, ev.rank, ev.at)
+            if point in seen_events:
+                raise ValueError(f"duplicate membership event {ev}")
+            seen_events.add(point)
+        self.membership = sorted(events, key=lambda ev: (ev.at, ev.kind))
+        self._membership_fired: set[MembershipEvent] = set()
         self.corruptible_prefix = corruptible_prefix
         self.max_faults = max_faults
         self.deaths = FaultPlan()
@@ -241,25 +307,94 @@ class ChaosPlan:
         """Clock multiplier for ``rank`` (1.0 = healthy)."""
         return self.stragglers.get(rank, 1.0)
 
+    # ---------------------------------------------------- membership hooks
+
+    def membership_check(self, comm, tag: str) -> None:
+        """Raise :class:`RankLeaveEvent` if this rank's leave is due.
+
+        Called from job probe points (next to :meth:`check`): a leave
+        scheduled at virtual time ``t`` fires at the first probe the
+        rank reaches with its clock past ``t``.  Fires at most once.
+        """
+        for ev in self.membership:
+            if ev.kind != "leave" or ev.rank != comm.rank:
+                continue
+            if comm.clock.time < ev.at:
+                continue
+            with self._lock:
+                if ev in self._membership_fired:
+                    continue
+                self._membership_fired.add(ev)
+                self.injected.append(InjectedFault(
+                    "membership-leave", comm.rank, tag, f"due t={ev.at:g}"))
+            raise RankLeaveEvent(tag, comm.rank, ev.at)
+
+    def membership_due(self, now: float, *,
+                       nranks: int | None = None) -> list[MembershipEvent]:
+        """Consume every not-yet-fired event due by virtual time ``now``.
+
+        The gang-boundary flavour of :meth:`membership_check`: an
+        elastic driver sweeps this between launches to apply joins (and
+        leaves whose rank never reached a probe, or that no longer
+        exists after earlier shrinks - those are reported with
+        ``rank=None`` semantics by the caller).
+        """
+        due: list[MembershipEvent] = []
+        with self._lock:
+            for ev in self.membership:
+                if ev.at > now or ev in self._membership_fired:
+                    continue
+                if ev.kind == "leave" and nranks is not None \
+                        and ev.rank is not None and ev.rank >= nranks:
+                    # The target rank id no longer exists; mark it
+                    # spent so it cannot fire against a future join.
+                    self._membership_fired.add(ev)
+                    continue
+                self._membership_fired.add(ev)
+                due.append(ev)
+        return due
+
+    def remove_rank(self, rank: int) -> None:
+        """Renumber per-rank state after ``rank`` left the gang.
+
+        Rank ids above the departed rank shift down by one (the next
+        launch numbers the survivors densely), so straggler factors
+        must follow their *host*: the departed entry disappears - a
+        straggling rank that dies or is evicted takes its slowness with
+        it - and higher entries slide down.  Explicitly scheduled
+        deaths and membership events keep their rank indices: they
+        model faults at gang *positions*, matching how the harnesses
+        seed them.
+        """
+        self.stragglers = {
+            (r if r < rank else r - 1): factor
+            for r, factor in self.stragglers.items() if r != rank
+        }
+
     # ------------------------------------------------------ factories
 
     @classmethod
     def random(cls, seed: int, nranks: int, *,
                tags: tuple[str, ...] = (),
                intensity: float = 1.0,
+               membership: bool = False,
                max_faults: int = 6) -> "ChaosPlan":
         """A mixed random schedule: deaths, I/O faults, stragglers.
 
         ``seed`` fully determines the schedule.  ``intensity`` scales
         every rate; ``tags`` optionally adds explicit deaths at points
-        the target job is known to expose.
+        the target job is known to expose.  ``membership`` additionally
+        schedules a seeded mid-run rank leave (and, half the time, a
+        later join); the draws happen after the classic ones, so plans
+        without membership keep their historical schedules seed for
+        seed.
         """
         rng = random.Random(seed)
         stragglers = {
             rank: round(rng.uniform(1.5, 4.0), 2)
             for rank in range(nranks) if rng.random() < 0.25
         }
-        plan = cls(
+        kwargs = dict(
             seed=seed,
             io_error_rate=min(1.0, rng.choice([0.0, 0.02, 0.05]) * intensity),
             torn_write_rate=min(1.0, rng.choice([0.0, 0.1, 0.3]) * intensity),
@@ -268,8 +403,18 @@ class ChaosPlan:
             stragglers=stragglers,
             max_faults=max_faults,
         )
-        if tags and rng.random() < 0.5:
-            plan.fail_at(rng.choice(tags), rng.randrange(nranks))
+        death = rng.choice(tags) if tags and rng.random() < 0.5 else None
+        death_rank = rng.randrange(nranks) if death is not None else 0
+        if membership and nranks > 1:
+            events = [MembershipEvent(round(rng.uniform(0.0, 0.05), 4),
+                                      "leave", rng.randrange(nranks))]
+            if rng.random() < 0.5:
+                events.append(MembershipEvent(
+                    round(rng.uniform(0.05, 0.2), 4), "join"))
+            kwargs["membership"] = events
+        plan = cls(**kwargs)
+        if death is not None:
+            plan.fail_at(death, death_rank)
         return plan
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

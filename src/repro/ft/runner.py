@@ -60,7 +60,16 @@ class FailureRecord:
 
 
 def classify_failure(exc: BaseException) -> str:
-    """Map a rank's fatal exception to a restart class."""
+    """Map a rank's fatal exception to a restart class.
+
+    An exception may carry its own class via a ``failure_class``
+    attribute - how membership departures (``membership-leave``) and
+    straggler evictions (``straggler-evict``) distinguish themselves
+    from crashes without this module importing the elastic layer.
+    """
+    own = getattr(exc, "failure_class", None)
+    if own is not None:
+        return own
     if isinstance(exc, TornWriteFailure):
         return "torn-write"
     if isinstance(exc, SimulatedRankFailure):
@@ -84,6 +93,12 @@ def default_restart_caps(max_restarts: int) -> dict[str, int]:
         "rank-death": max_restarts,
         "torn-write": max_restarts,
         "transient-io": max_restarts,
+        # Membership departures and straggler evictions are benign
+        # under the elastic driver (which converts them into gang
+        # shrinks before they reach the caps); under the plain restart
+        # driver they behave like recoverable rank deaths.
+        "membership-leave": max_restarts,
+        "straggler-evict": max_restarts,
         "oom": min(1, max_restarts),
         "unknown": 0,
     }

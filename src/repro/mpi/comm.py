@@ -203,5 +203,20 @@ class SimComm:
         """Charge local (compute or I/O) virtual time to this rank."""
         self.clock.advance(seconds * self.slowdown)
 
+    def sync_time(self, time: float) -> None:
+        """Set this rank's clock to an externally scheduled time.
+
+        The elastic layer (:mod:`repro.ft.elastic`) replays task pools
+        through a deterministic discrete-event schedule and then
+        *replaces* the physically accumulated clock with the scheduled
+        completion time - e.g. a straggler whose attempt was killed
+        stops being charged at the kill point.  Collectives still take
+        the max afterwards, so time can be re-scheduled but never
+        un-synchronized.
+        """
+        if time < 0:
+            raise ValueError(f"cannot sync clock to negative time {time}")
+        self.clock.time = time
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimComm(rank={self.rank}, size={self.size}, t={self.clock.time:.6f})"

@@ -145,6 +145,16 @@ register("ft.checkpoint.restores", COUNTER, "calls", "repro.ft.checkpoint",
          "checkpoint phases restored instead of recomputed")
 register("ft.checkpoint.invalid", COUNTER, "events", "repro.ft.checkpoint",
          "torn/corrupt/stale checkpoints detected and recomputed")
+register("ft.straggler.flagged", COUNTER, "ranks", "repro.ft.elastic",
+         "ranks flagged by the per-phase straggler monitor")
+register("ft.speculation.launched", COUNTER, "tasks", "repro.ft.elastic",
+         "backup task attempts launched on healthy ranks")
+register("ft.speculation.won", COUNTER, "tasks", "repro.ft.elastic",
+         "backup attempts that finished first (first-result-wins)")
+register("ft.speculation.discarded", COUNTER, "tasks", "repro.ft.elastic",
+         "losing duplicate task attempts killed or discarded")
+register("ft.membership.changes", COUNTER, "events", "repro.ft.elastic",
+         "gang membership changes (rank leave/join, scaling resize)")
 
 register("sched.admissions", COUNTER, "jobs", "repro.sched.scheduler",
          "jobs admitted onto the cluster by admission control")

@@ -39,15 +39,22 @@ class PlanRunner:
 
     def __init__(self, env: RankEnv, plan: Plan, *,
                  cache=None, profile=None, trace=None, checkpoint=None,
-                 job: str | None = None, trace_offset: float = 0.0):
+                 elastic=None, job: str | None = None,
+                 trace_offset: float = 0.0):
         self.env = env
         self.plan = plan
         self.cache = cache
         self.checkpoint = checkpoint
         self.trace = trace
         self.trace_offset = trace_offset
+        #: Optional reactive-fault hooks (duck-typed; see
+        #: :class:`repro.ft.elastic.ElasticStageHooks`): text-input map
+        #: stages run speculatively, and every other executed stage's
+        #: duration feeds the straggler monitor.
+        self.elastic = elastic
         self.job = job or plan.name
         self.mimir = Mimir(env, plan.config, profile=profile, trace=trace)
+        self._speculated: set[str] = set()
         #: Times each stage *name* actually executed (restores and
         #: cache hits do not count) - the observable that recompute
         #: and stage-skip tests assert on.
@@ -114,10 +121,17 @@ class PlanRunner:
             raise ValueError(
                 f"stage {stage.name!r}: op {stage.op!r} cannot be "
                 "materialized directly (feed it to a map)")
+        started = self.env.comm.clock.time
         out = runner(stage)
         self.stage_counts[stage.name] = \
             self.stage_counts.get(stage.name, 0) + 1
         self.env.metrics.inc("sched.stages.executed")
+        if self.elastic is not None and stage.key not in self._speculated:
+            # Collective: every rank executes the same stage schedule,
+            # so the progress allgather cannot diverge.  Speculative
+            # maps already monitored (and re-scheduled) themselves.
+            self.elastic.observe_stage(
+                self.env, stage, self.env.comm.clock.time - started)
         if self.trace is not None:
             self.trace.emit_abs(
                 self.trace_offset + self.env.comm.clock.time,
@@ -134,6 +148,11 @@ class PlanRunner:
                       layout=params.get("layout"),
                       out_tag=f"kv_{stage.name}")
         if parent.op == "read_text":
+            if self.elastic is not None:
+                self._speculated.add(stage.key)
+                return self.elastic.map_text(
+                    self.env, parent.params["path"], stage,
+                    self.plan.config)
             return self.mimir.map_text_file(parent.params["path"], stage.fn,
                                             **common)
         if parent.op == "read_binary":

@@ -76,12 +76,12 @@ class JobContext:
     degraded: bool = False
 
     def runner(self, plan: Plan, *, profile=None,
-               checkpoint=None) -> PlanRunner:
+               checkpoint=None, elastic=None) -> PlanRunner:
         """A :class:`PlanRunner` wired into the scheduler's services."""
         return PlanRunner(self.env, plan, cache=self.cache,
                           profile=profile, trace=self.trace,
-                          checkpoint=checkpoint, job=self.name,
-                          trace_offset=self.time_base)
+                          checkpoint=checkpoint, elastic=elastic,
+                          job=self.name, trace_offset=self.time_base)
 
 
 class FootprintEstimator:
@@ -178,13 +178,19 @@ class Scheduler:
     """Admission-controlled multi-job queue over one cluster."""
 
     def __init__(self, cluster: Cluster, *, reserve: float = 0.1,
-                 trace=None, max_oom_retries: int = 1):
+                 trace=None, max_oom_retries: int = 1, scaling=None):
         if not 0 <= reserve < 1:
             raise ValueError(f"reserve must be in [0, 1), got {reserve}")
         self.cluster = cluster
         self.reserve = reserve
         self.trace = trace
         self.max_oom_retries = max_oom_retries
+        #: Optional autoscaler (duck-typed; see
+        #: :class:`repro.ft.elastic.ScalingPolicy`): consulted between
+        #: rounds with the queue depth and observed memory residency,
+        #: and actuated through :meth:`Cluster.resize`.
+        self.scaling = scaling
+        self.scale_events: list[tuple[int, int]] = []
         self.estimator = FootprintEstimator(cluster.nprocs)
         self.trackers = self._fresh_trackers()
         self.caches = [StageCache(rank) for rank in range(cluster.nprocs)]
@@ -331,6 +337,7 @@ class Scheduler:
         report = SchedulerReport(ooms=0)
         while self._queue:
             report.rounds += 1
+            self._apply_scaling(report.rounds)
             batch = self._admit(report.rounds)
             result = self._launch(batch)
             if result.ran_out_of_memory:
@@ -357,6 +364,39 @@ class Scheduler:
         report.total_elapsed = self.clock
         report.ooms = self.ooms
         return report
+
+    def _apply_scaling(self, round_no: int) -> None:
+        """Consult the autoscaler and resize the gang between rounds.
+
+        Rounds are the scheduler's launch boundaries - the only points
+        a gang-scheduled allocation can legally change size.  Sensors:
+        ready-queue depth, and the worst rank's memory residency
+        (current bytes over the per-rank limit).  A resize rebuilds the
+        per-rank trackers and stage caches: cached containers live in
+        rank-indexed memory, so they die with the old gang shape -
+        checkpoints (on the shared PFS) are what survives, exactly as
+        in the membership-change recovery path.
+        """
+        if self.scaling is None or not self._queue:
+            return
+        limit = self.cluster.memory_limit_per_rank
+        residency = 0.0
+        if limit:
+            residency = max((t.current / limit for t in self.trackers),
+                            default=0.0)
+        target = self.scaling.decide(queue_depth=len(self._queue),
+                                     residency=residency,
+                                     nprocs=self.cluster.nprocs)
+        if target == self.cluster.nprocs:
+            return
+        self.cluster.resize(target)
+        self.estimator.nprocs = target
+        self.trackers = self._fresh_trackers()
+        self.caches = [StageCache(rank) for rank in range(target)]
+        self.scale_events.append((round_no, target))
+        self.cluster.metrics.shard(-1).inc("ft.membership.changes")
+        self._emit("scale", f"gang->{target}", round=round_no,
+                   nprocs=target, residency=round(residency, 4))
 
     def _handle_oom(self, batch: list[_Queued], result,
                     report: SchedulerReport) -> None:
