@@ -157,6 +157,124 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import time
+
+    from repro.cluster import Cluster
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+    from repro.serve.tenants import TenantManager, TenantQuota
+
+    platform = PLATFORMS[args.platform]
+    cluster = Cluster(platform, nprocs=args.nprocs,
+                      memory_limit=args.memory)
+    if args.stage_demo:
+        from repro.sched.demo import stage_inputs
+
+        stage_inputs(cluster)
+    quotas = {}
+    for spec in args.quota or []:
+        try:
+            tenant, bounds = spec.split("=", 1)
+            queued, concurrent = bounds.split(":", 1)
+            quotas[tenant] = TenantQuota(max_queued=int(queued),
+                                         max_concurrent=int(concurrent))
+        except ValueError:
+            print(f"error: bad --quota {spec!r} "
+                  f"(want tenant=max_queued:max_concurrent)")
+            return 2
+    daemon = ServeDaemon(
+        cluster,
+        tenants=TenantManager(quotas, aging_rate=args.aging_rate),
+        config=ServeConfig(lease_ttl=args.lease_ttl))
+    interrupted = daemon.recover()
+    if interrupted:
+        print(f"recovered {len(interrupted)} interrupted job(s): "
+              f"{', '.join(interrupted)}")
+    port = daemon.start(host=args.host, port=args.port)
+    print(f"repro serve: listening on http://{args.host}:{port} "
+          f"({args.platform}, {cluster.nprocs} ranks); Ctrl-C to stop")
+    try:
+        deadline = time.monotonic() + args.duration if args.duration \
+            else None
+        while not daemon.crashed:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        print("\nstopping...")
+    daemon.stop()
+    if daemon.crashed:
+        print(f"daemon crashed: {daemon.crash_error}")
+        return 1
+    return 0
+
+
+def _serve_client(args):
+    from repro.serve.api import ServeClient
+
+    return ServeClient(args.url, tenant=args.tenant)
+
+
+def _print_json(doc) -> None:
+    import json
+
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def cmd_put(args) -> int:
+    with open(args.file, "rb") as fh:
+        data = fh.read()
+    _print_json(_serve_client(args).put_input(args.name, data))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    params = {}
+    for item in args.param or []:
+        if "=" not in item:
+            print(f"error: bad --param {item!r} (want key=value)")
+            return 2
+        key, value = item.split("=", 1)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            params[key] = value
+    client = _serve_client(args)
+    doc = client.submit(args.app, args.input, params=params,
+                        priority=args.priority, footprint=args.footprint)
+    if args.wait:
+        doc = client.wait(doc["job_id"], timeout=args.timeout)
+    _print_json(doc)
+    return 0 if doc.get("state") in (None, "queued", "done") else 1
+
+
+def cmd_status(args) -> int:
+    client = _serve_client(args)
+    if args.job_id:
+        _print_json(client.status(args.job_id))
+    else:
+        _print_json(client.jobs())
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    _print_json(_serve_client(args).cancel(args.job_id))
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    client = _serve_client(args)
+    data = client.job_log(args.job_id).encode() if args.log \
+        else client.output(args.job_id)
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(data)
+        print(f"wrote {len(data)} bytes to {args.output}")
+    else:
+        sys.stdout.write(data.decode(errors="replace"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,12 +352,93 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip running: rebuild the report from a "
                             "Trace.to_json() file")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant job service daemon (HTTP/JSON API)")
+    p_srv.add_argument("--platform", choices=sorted(PLATFORMS),
+                       default="comet")
+    p_srv.add_argument("--nprocs", type=int, default=4)
+    p_srv.add_argument("--memory", default="auto",
+                       help='per-rank memory budget (e.g. "512K")')
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral, printed)")
+    p_srv.add_argument("--lease-ttl", type=float, default=60.0,
+                       help="result lease TTL in seconds")
+    p_srv.add_argument("--aging-rate", type=float, default=1.0,
+                       help="fair-share priority gain per queued round")
+    p_srv.add_argument("--quota", action="append", metavar="T=Q:C",
+                       help="per-tenant quota tenant=max_queued:"
+                            "max_concurrent (repeatable)")
+    p_srv.add_argument("--stage-demo", action="store_true",
+                       help="stage the demo datasets on the PFS at boot")
+    p_srv.add_argument("--duration", type=float, default=None,
+                       help="exit after N seconds (CI smoke)")
+    p_srv.set_defaults(fn=cmd_serve)
+
+    def client_common(p):
+        p.add_argument("--url", default="http://127.0.0.1:8123",
+                       help="service base URL")
+        p.add_argument("--tenant", default="default",
+                       help="tenant identity (X-Tenant header)")
+
+    p_put = sub.add_parser("put", help="stage an input file on the service")
+    client_common(p_put)
+    p_put.add_argument("name", help="input name (referenced by submit)")
+    p_put.add_argument("file", help="local file to upload")
+    p_put.set_defaults(fn=cmd_put)
+
+    p_sub = sub.add_parser("submit", help="submit a job to the service")
+    client_common(p_sub)
+    p_sub.add_argument("app", help="catalog app (wordcount pagerank "
+                                   "kmeans bfs)")
+    p_sub.add_argument("input", help="staged input name or shared PFS path")
+    p_sub.add_argument("--param", action="append", metavar="K=V",
+                       help="app parameter (repeatable)")
+    p_sub.add_argument("--priority", type=int, default=0)
+    p_sub.add_argument("--footprint", default=None,
+                       help='declared per-rank footprint (e.g. "64K")')
+    p_sub.add_argument("--wait", action="store_true",
+                       help="poll until the job reaches a terminal state")
+    p_sub.add_argument("--timeout", type=float, default=120.0,
+                       help="--wait timeout in seconds")
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_st = sub.add_parser("status", help="job status (or list all jobs)")
+    client_common(p_st)
+    p_st.add_argument("job_id", nargs="?", default=None)
+    p_st.set_defaults(fn=cmd_status)
+
+    p_cx = sub.add_parser("cancel", help="cancel a queued job")
+    client_common(p_cx)
+    p_cx.add_argument("job_id")
+    p_cx.set_defaults(fn=cmd_cancel)
+
+    p_ft = sub.add_parser("fetch", help="fetch a job's output artifact")
+    client_common(p_ft)
+    p_ft.add_argument("job_id")
+    p_ft.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="write to FILE instead of stdout")
+    p_ft.add_argument("--log", action="store_true",
+                      help="fetch the service-side job log instead")
+    p_ft.set_defaults(fn=cmd_fetch)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except Exception as exc:
+        # Client commands surface service errors as structured JSON
+        # (the 429 quota body, 409 conflicts, ...), not tracebacks.
+        from repro.serve.api import ServeAPIError
+
+        if isinstance(exc, ServeAPIError):
+            _print_json(dict(exc.body, status=exc.status))
+            return 1
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

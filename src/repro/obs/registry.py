@@ -173,6 +173,27 @@ register("sched.cache.reloads", COUNTER, "reloads", "repro.sched.cache",
 register("sched.stages.executed", COUNTER, "stages", "repro.sched.executor",
          "plan stages actually executed (restores and hits excluded)")
 
+register("serve.submissions", COUNTER, "jobs", "repro.serve.daemon",
+         "jobs accepted by the serve API and journaled durably")
+register("serve.rejections.quota", COUNTER, "jobs", "repro.serve.tenants",
+         "submissions rejected by a per-tenant quota check (429)")
+register("serve.admissions", COUNTER, "jobs", "repro.serve.daemon",
+         "served jobs admitted into a gang round by the scheduler")
+register("serve.completions", COUNTER, "jobs", "repro.serve.daemon",
+         "served jobs that reached a terminal done/failed state")
+register("serve.cancellations", COUNTER, "jobs", "repro.serve.daemon",
+         "queued jobs cancelled by their owner before admission")
+register("serve.lease.expiries", COUNTER, "leases", "repro.serve.leases",
+         "job leases that lapsed without a client renewal")
+register("serve.gc.outputs", COUNTER, "jobs", "repro.serve.daemon",
+         "lease-expired job outputs garbage-collected from the PFS")
+register("serve.journal.records", COUNTER, "records", "repro.serve.journal",
+         "records appended to the crash-safe job journal")
+register("serve.journal.replays", COUNTER, "records", "repro.serve.journal",
+         "journal records replayed during daemon recovery")
+register("serve.queue.depth", GAUGE, "jobs", "repro.serve.daemon",
+         "jobs waiting in the admission queue after the last tick")
+
 
 # ------------------------------------------------------------ histogram
 

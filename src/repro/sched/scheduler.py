@@ -59,6 +59,13 @@ class SchedJob:
     #: May this job run with out-of-core spill when it cannot fit?
     degradable: bool = True
     config: MimirConfig | None = None
+    #: Estimator key shared by repeated submissions of one workload
+    #: (service jobs get unique names, so without this every
+    #: resubmission would re-learn its footprint from scratch).
+    workload: str | None = None
+    #: Owning tenant; ignored by the scheduler itself, consumed by
+    #: external admission filters (see :mod:`repro.serve.tenants`).
+    tenant: str | None = None
 
 
 @dataclass
@@ -96,8 +103,13 @@ class FootprintEstimator:
         self.nprocs = nprocs
         self.observed: dict[str, int] = {}
 
+    @staticmethod
+    def key(job: SchedJob) -> str:
+        """Learning key: the declared workload, falling back to the name."""
+        return job.workload or job.name
+
     def estimate(self, job: SchedJob, config: MimirConfig) -> int:
-        observed = self.observed.get(job.name)
+        observed = self.observed.get(self.key(job))
         if job.footprint is not None:
             declared = parse_size(job.footprint)
             if observed is not None and observed > declared:
@@ -199,6 +211,24 @@ class Scheduler:
         #: Cumulative virtual time across every round run so far.
         self.clock = 0.0
         self.ooms = 0
+        #: Cumulative admission rounds across every drain.
+        self.rounds_run = 0
+        #: Jobs admitted by the most recent round (0 when an external
+        #: admission filter vetoed the whole queue).
+        self.last_admitted = 0
+        #: External admission veto: ``fn(job, admitted_batch) -> bool``.
+        #: Consulted per candidate while a round's batch is built; a
+        #: ``False`` keeps the job queued for a later round.  This is
+        #: the serving layer's per-tenant concurrency hook.
+        self.admission_filter: "Callable[[SchedJob, list[SchedJob]], bool] | None" = None  # noqa: E501
+        #: External priority override: ``fn(job, queued_rounds) ->
+        #: float`` replaces ``job.priority`` in admission ordering -
+        #: fair-share aging lives here, not in the scheduler.
+        self.priority_fn: "Callable[[SchedJob, int], float] | None" = None
+        #: Called with (admitted jobs, round number) after admission,
+        #: before launch - the journaling point for a serving front
+        #: end: every job in the batch is about to run.
+        self.on_admit: "Callable[[list[SchedJob], int], None] | None" = None
 
     def _fresh_trackers(self) -> list[MemoryTracker]:
         limit = self.cluster.memory_limit_per_rank
@@ -225,6 +255,28 @@ class Scheduler:
                    priority=job.priority)
         return job
 
+    def cancel(self, name: str) -> SchedJob | None:
+        """Withdraw a still-queued job; returns it, or ``None``.
+
+        Only jobs waiting for admission can be cancelled: a launched
+        batch runs to completion (gang semantics - aborting one rank's
+        job mid-round would kill the whole launch).  The serving layer
+        therefore exposes cancellation as best-effort.
+        """
+        for queued in self._queue:
+            if queued.job.name == name:
+                self._queue.remove(queued)
+                self._emit("cancel", name, job=name)
+                return queued.job
+        return None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def queued_names(self) -> list[str]:
+        return [q.job.name for q in self._queue]
+
     # ---------------------------------------------------------- admission
 
     @property
@@ -243,15 +295,36 @@ class Scheduler:
         head-of-queue job is never starved: it gets a round to itself,
         degraded to out-of-core if its estimate exceeds even an empty
         budget and it allows that.
+
+        An installed :attr:`admission_filter` can veto candidates for
+        this round (per-tenant concurrency caps); vetoed jobs stay
+        queued.  When the filter rejects every queued job the round
+        admits nothing - callers running a drain loop must treat an
+        empty batch as "wait", not "retry immediately".
         """
-        ordered = sorted(self._queue, key=lambda q: (-q.job.priority, q.seq))
+        def effective_priority(q: _Queued) -> float:
+            if self.priority_fn is not None:
+                return self.priority_fn(q.job, q.queued_rounds)
+            return q.job.priority
+
+        ordered = sorted(self._queue,
+                         key=lambda q: (-effective_priority(q), q.seq))
         budget = self._budget
         for queued in ordered:
             queued.estimate = self.estimator.estimate(queued.job,
                                                       queued.config)
             queued.degraded = False
+        if self.admission_filter is not None:
+            batch_jobs: list[SchedJob] = []
+            eligible = []
+            for queued in ordered:
+                if self.admission_filter(queued.job, batch_jobs):
+                    eligible.append(queued)
+                    batch_jobs.append(queued.job)
+        else:
+            eligible = ordered
         if budget is None:
-            admitted = ordered
+            admitted = eligible
         else:
             resident = max((t.current - cache.resident_bytes
                             for t, cache in zip(self.trackers, self.caches)),
@@ -259,12 +332,12 @@ class Scheduler:
             available = budget - resident
             admitted = []
             committed = 0
-            for queued in ordered:
+            for queued in eligible:
                 if committed + queued.estimate <= available:
                     admitted.append(queued)
                     committed += queued.estimate
-            if not admitted:
-                head = ordered[0]
+            if not admitted and eligible:
+                head = eligible[0]
                 if head.estimate > available and head.job.degradable \
                         and head.estimate > budget:
                     head.degraded = True
@@ -332,37 +405,66 @@ class Scheduler:
 
     # ---------------------------------------------------------------- run
 
+    def run_round(self) -> list[JobOutcome]:
+        """Run one admission round; the incremental flavour of :meth:`run`.
+
+        Returns the outcomes of jobs that reached a terminal state this
+        round (completed, or failed past the OOM retry cap).  An OOM
+        round that merely requeued its batch - or a round in which the
+        admission filter vetoed every candidate (:attr:`last_admitted`
+        is 0) - returns an empty list.  This is the serving daemon's
+        tick: the queue persists between calls, so new jobs can be
+        submitted while earlier rounds drain.
+        """
+        self.last_admitted = 0
+        if not self._queue:
+            return []
+        self.rounds_run += 1
+        round_no = self.rounds_run
+        self._apply_scaling(round_no)
+        batch = self._admit(round_no)
+        self.last_admitted = len(batch)
+        if not batch:
+            return []
+        if self.on_admit is not None:
+            self.on_admit([q.job for q in batch], round_no)
+        result = self._launch(batch)
+        if result.ran_out_of_memory:
+            return self._handle_oom(batch, result, round_no)
+        self.clock += result.elapsed
+        outcomes: list[JobOutcome] = []
+        for queued in batch:
+            self._queue.remove(queued)
+            per_rank = [r[queued.job.name] for r in result.returns]
+            peak = max(p for _v, p, _t in per_rank)
+            done_at = self.clock - result.elapsed + \
+                max(t for _v, _p, t in per_rank)
+            self.estimator.observe(self.estimator.key(queued.job), peak)
+            self._emit("stage-done", f"{queued.job.name}:complete",
+                       at=done_at, job=queued.job.name,
+                       round=round_no)
+            outcomes.append(JobOutcome(
+                name=queued.job.name,
+                returns=[v for v, _p, _t in per_rank],
+                round=round_no,
+                queued_rounds=queued.queued_rounds,
+                peak_bytes=peak, estimate=queued.estimate,
+                degraded=queued.degraded))
+        return outcomes
+
     def run(self) -> SchedulerReport:
         """Drain the queue; returns one outcome per submitted job."""
         report = SchedulerReport(ooms=0)
+        start_rounds, start_ooms = self.rounds_run, self.ooms
         while self._queue:
-            report.rounds += 1
-            self._apply_scaling(report.rounds)
-            batch = self._admit(report.rounds)
-            result = self._launch(batch)
-            if result.ran_out_of_memory:
-                self._handle_oom(batch, result, report)
-                continue
-            self.clock += result.elapsed
-            for queued in batch:
-                self._queue.remove(queued)
-                per_rank = [r[queued.job.name] for r in result.returns]
-                peak = max(p for _v, p, _t in per_rank)
-                done_at = self.clock - result.elapsed + \
-                    max(t for _v, _p, t in per_rank)
-                self.estimator.observe(queued.job.name, peak)
-                self._emit("stage-done", f"{queued.job.name}:complete",
-                           at=done_at, job=queued.job.name,
-                           round=report.rounds)
-                report.outcomes.append(JobOutcome(
-                    name=queued.job.name,
-                    returns=[v for v, _p, _t in per_rank],
-                    round=report.rounds,
-                    queued_rounds=queued.queued_rounds,
-                    peak_bytes=peak, estimate=queued.estimate,
-                    degraded=queued.degraded))
+            report.outcomes.extend(self.run_round())
+            if self.last_admitted == 0 and self._queue:
+                raise RuntimeError(
+                    "admission filter vetoed every queued job; a full "
+                    "drain cannot make progress")
+        report.rounds = self.rounds_run - start_rounds
         report.total_elapsed = self.clock
-        report.ooms = self.ooms
+        report.ooms = self.ooms - start_ooms
         return report
 
     def _apply_scaling(self, round_no: int) -> None:
@@ -399,11 +501,16 @@ class Scheduler:
                    nprocs=target, residency=round(residency, 4))
 
     def _handle_oom(self, batch: list[_Queued], result,
-                    report: SchedulerReport) -> None:
-        """Absorb a blown estimate: reset state, bump, requeue."""
+                    round_no: int) -> list[JobOutcome]:
+        """Absorb a blown estimate: reset state, bump, requeue.
+
+        Returns terminal outcomes for jobs that exhausted their OOM
+        retry budget; the rest stay queued with doubled estimates.
+        """
         self.ooms += 1
         self.cluster.metrics.shard(-1).inc("sched.ooms")
         blame = result.oom.tag if result.oom is not None else "?"
+        outcomes: list[JobOutcome] = []
         for queued in batch:
             self._emit("oom", queued.job.name, job=queued.job.name,
                        oom_rank=result.oom_rank, tag=blame)
@@ -415,13 +522,14 @@ class Scheduler:
             # offender OOMs alone.
             blown = (result.oom.current + result.oom.requested) \
                 if result.oom is not None else 0
+            key = self.estimator.key(queued.job)
             bumped = max(queued.estimate * 2, blown,
-                         self.estimator.observed.get(queued.job.name, 0))
-            self.estimator.observe(queued.job.name, bumped)
+                         self.estimator.observed.get(key, 0))
+            self.estimator.observe(key, bumped)
             if queued.oom_retries > self.max_oom_retries:
                 self._queue.remove(queued)
-                report.outcomes.append(JobOutcome(
-                    name=queued.job.name, round=report.rounds,
+                outcomes.append(JobOutcome(
+                    name=queued.job.name, round=round_no,
                     queued_rounds=queued.queued_rounds,
                     estimate=queued.estimate, degraded=queued.degraded,
                     failed=True,
@@ -432,3 +540,4 @@ class Scheduler:
         for cache in self.caches:
             cache.clear()
         self.trackers = self._fresh_trackers()
+        return outcomes

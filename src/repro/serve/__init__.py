@@ -1,0 +1,37 @@
+"""``repro.serve``: the multi-tenant job service over the scheduler.
+
+The serving layer turns the :mod:`repro.sched` gang-admission queue
+from a library into a product: a long-running daemon
+(:class:`~repro.serve.daemon.ServeDaemon`) exposes a local HTTP/JSON
+API (:mod:`repro.serve.api`) for put-input / submit / status / cancel
+/ fetch-output / fetch-log, enforces per-tenant quotas with fair-share
+priority aging (:mod:`repro.serve.tenants`), tracks client liveness
+with leases (:mod:`repro.serve.leases`), and survives crashes through
+an append-only CRC-framed journal on the simulated PFS
+(:mod:`repro.serve.journal`).
+"""
+
+from repro.serve.api import ServeAPIError, ServeClient
+from repro.serve.catalog import SERVE_APPS, merge_output, run_direct
+from repro.serve.daemon import ServeConfig, ServeDaemon, ServedJob, ServeError
+from repro.serve.journal import JournalError, ServeJournal
+from repro.serve.leases import LeaseTable
+from repro.serve.tenants import QuotaExceeded, TenantManager, TenantQuota
+
+__all__ = [
+    "ServeAPIError",
+    "ServeClient",
+    "ServeError",
+    "SERVE_APPS",
+    "merge_output",
+    "run_direct",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServedJob",
+    "JournalError",
+    "ServeJournal",
+    "LeaseTable",
+    "QuotaExceeded",
+    "TenantManager",
+    "TenantQuota",
+]

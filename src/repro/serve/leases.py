@@ -1,0 +1,94 @@
+"""Lease-based ownership of served jobs and their results.
+
+A submission grants the client a lease: a promise that the service
+keeps the job's result retrievable while the lease is alive.  Clients
+renew by polling (every status read refreshes the lease) or with an
+explicit renew call; a client that stops caring simply stops polling,
+and once the lease lapses the job's output becomes eligible for TTL
+garbage collection - the backpressure valve that keeps a long-running
+service from accumulating every result ever computed.
+
+Time here is *wall-clock* (the daemon serves real clients), taken from
+an injectable monotonic ``clock`` so tests drive expiry
+deterministically with a fake clock.  Virtual time is wrong for
+leases: the simulated clock only advances while rounds run, but a
+client's attention span is measured in real seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class Lease:
+    """One job's liveness contract."""
+
+    job_id: str
+    expires_at: float
+    ttl: float
+    renewals: int = 0
+
+
+class LeaseTable:
+    """All live leases of one daemon; single-writer under daemon lock."""
+
+    def __init__(self, ttl: float = 60.0, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: Any = None):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.default_ttl = ttl
+        self.clock = clock
+        self.metrics = metrics
+        self._leases: dict[str, Lease] = {}
+
+    def grant(self, job_id: str, ttl: float | None = None) -> Lease:
+        ttl = self.default_ttl if ttl is None else ttl
+        lease = Lease(job_id, self.clock() + ttl, ttl)
+        self._leases[job_id] = lease
+        return lease
+
+    def renew(self, job_id: str, ttl: float | None = None) -> Lease | None:
+        """Extend ``job_id``'s lease; ``None`` if it already lapsed.
+
+        A lapsed lease is *not* resurrected: the result may be gone
+        (or about to go), and pretending otherwise would turn GC into
+        a race the client can lose silently.
+        """
+        lease = self._leases.get(job_id)
+        if lease is None:
+            return None
+        lease.ttl = lease.ttl if ttl is None else ttl
+        lease.expires_at = self.clock() + lease.ttl
+        lease.renewals += 1
+        return lease
+
+    def remaining(self, job_id: str) -> float | None:
+        lease = self._leases.get(job_id)
+        if lease is None:
+            return None
+        return max(0.0, lease.expires_at - self.clock())
+
+    def alive(self, job_id: str) -> bool:
+        lease = self._leases.get(job_id)
+        return lease is not None and lease.expires_at > self.clock()
+
+    def drop(self, job_id: str) -> None:
+        self._leases.pop(job_id, None)
+
+    def sweep(self) -> list[str]:
+        """Remove every lapsed lease; returns the expired job ids."""
+        now = self.clock()
+        expired = [job_id for job_id, lease in self._leases.items()
+                   if lease.expires_at <= now]
+        for job_id in expired:
+            del self._leases[job_id]
+            if self.metrics is not None:
+                self.metrics.inc("serve.lease.expiries")
+        return expired
+
+    def __len__(self) -> int:
+        return len(self._leases)

@@ -69,3 +69,101 @@ class TestCommands:
         assert code == 0
         assert "Mimir" in out and "MR-MPI (64M)" in out
         assert "max in-mem" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.lease_ttl == 60.0
+        assert args.platform == "comet"
+
+    def test_serve_quota_specs(self):
+        args = build_parser().parse_args(
+            ["serve", "--quota", "alice=4:2", "--quota", "bob=1:1",
+             "--port", "8123"])
+        assert args.quota == ["alice=4:2", "bob=1:1"]
+
+    def test_submit_options(self):
+        args = build_parser().parse_args(
+            ["submit", "pagerank", "demo/graph.bin",
+             "--param", "iterations=3", "--tenant", "bob", "--wait"])
+        assert args.app == "pagerank"
+        assert args.param == ["iterations=3"]
+        assert args.tenant == "bob" and args.wait
+
+    def test_client_commands_share_url_and_tenant(self):
+        for argv in (["status"], ["cancel", "job-0001"],
+                     ["fetch", "job-0001"], ["put", "x", "f"]):
+            args = build_parser().parse_args(argv)
+            assert args.url.startswith("http://")
+            assert args.tenant == "default"
+
+
+class TestServeCommands:
+    @pytest.fixture()
+    def service(self):
+        from repro.cluster import Cluster
+        from repro.mpi import COMET
+        from repro.sched.demo import stage_inputs
+        from repro.serve.daemon import ServeDaemon
+
+        cluster = Cluster(COMET, nprocs=4)
+        stage_inputs(cluster)
+        daemon = ServeDaemon(cluster)
+        port = daemon.start()
+        yield f"--url=http://127.0.0.1:{port}"
+        daemon.stop()
+
+    def test_put_submit_status_fetch_roundtrip(self, service, capsys,
+                                               tmp_path):
+        import json
+
+        infile = tmp_path / "words.txt"
+        infile.write_bytes(b"cli cli cli test\n")
+        assert main(["put", "words.txt", str(infile), service,
+                     "--tenant", "alice"]) == 0
+        assert main(["submit", "wordcount", "words.txt", service,
+                     "--tenant", "alice", "--wait"]) == 0
+        capsys.readouterr()
+        assert main(["status", service, "--tenant", "alice"]) == 0
+        jobs = json.loads(capsys.readouterr().out)
+        assert jobs and jobs[0]["state"] == "done"
+        job_id = jobs[0]["job_id"]
+
+        outfile = tmp_path / "out.tsv"
+        assert main(["fetch", job_id, "-o", str(outfile), service,
+                     "--tenant", "alice"]) == 0
+        assert outfile.read_bytes() == b"cli\t3\ntest\t1\n"
+        assert main(["fetch", job_id, "--log", service,
+                     "--tenant", "alice"]) == 0
+        assert "submitted by alice" in capsys.readouterr().out
+
+    def test_cancel_command(self, service, capsys):
+        import json
+
+        daemon_url = service
+        # Stall the queue so the job is still cancellable: submit with
+        # an impossible footprint keeps it queued only briefly, so
+        # instead cancel right after submitting without --wait.
+        assert main(["submit", "wordcount", "demo/words.txt", daemon_url,
+                     "--tenant", "bob"]) == 0
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        code = main(["cancel", job_id, daemon_url, "--tenant", "bob"])
+        doc = json.loads(capsys.readouterr().out)
+        # Raced the worker: either cancelled cleanly, or already done
+        # and the CLI printed the structured 409 body with exit 1.
+        if code == 0:
+            assert doc["state"] == "cancelled"
+        else:
+            assert doc["status"] == 409
+
+    def test_status_single_job(self, service, capsys):
+        import json
+
+        assert main(["submit", "wordcount", "demo/words.txt", service,
+                     "--tenant", "carol", "--wait"]) == 0
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        assert main(["status", job_id, service, "--tenant", "carol"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "done"
+        assert doc["summary"]["total"] > 0
