@@ -1,0 +1,342 @@
+"""Core-engine benchmark: batch arenas vs per-record dispatch, codec on/off.
+
+Runs the three core applications (WordCount on uniform and Zipf text,
+PageRank, TeraSort) through every combination of
+
+- **dispatch mode** - ``batch`` (whole-page kernels, bulk emits, zero
+  per-record objects) vs ``per_record`` (the compatibility path);
+- **codec** - off vs ``dedup+zlib`` (frozen container pages, framed
+  spills and exchange parts).
+
+on a Comet platform whose ``record_overhead`` is set to a plausible
+full-scale per-record dispatch cost (0.25 us, stretched by the 1/1024
+rescaling like every other rate).  Per-record paths charge one op per
+record, batch paths one op per page, so the measured gap in *virtual*
+time is exactly the dispatch overhead the columnar path removes -
+byte-rate charges are identical in both modes.
+
+Every sweep asserts the four configurations produce **bit-identical**
+outputs (word counts, PageRank score bits, the TeraSort output file),
+then records records-per-virtual-second and the hottest rank's peak
+bytes.  Results append to ``BENCH_core.json`` at the repo root as a
+tracked trajectory; ``--check`` gates against the last committed entry
+and fails if batch WordCount throughput regressed more than 10%.
+
+Runs under pytest (``pytest benchmarks/bench_core_throughput.py``) or
+standalone::
+
+    python benchmarks/bench_core_throughput.py [--smoke] [--check]
+        [--no-write] [--trace-out TRACE.json]
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.apps.pagerank import pagerank_mimir
+from repro.apps.terasort import generate_records, terasort_mimir
+from repro.apps.wordcount import wordcount_mimir
+from repro.cluster import Cluster
+from repro.core import MimirConfig
+from repro.datasets import edges_to_bytes, kronecker_edges
+from repro.datasets.words import uniform_text, zipf_text
+from repro.mpi.platforms import COMET, SCALE
+
+NPROCS = 4
+#: Small pages so the codec's freeze-on-fill has several pages to
+#: compress even at benchmark scale, and a small comm buffer so the
+#: container pages (what the codec shrinks) dominate the rank peak.
+PAGE_SIZE = 8 * 1024
+COMM_BUFFER = 16 * 1024
+#: 1 us of fixed dispatch cost per record-level framework op at full
+#: scale (callback + partition + buffer bookkeeping); virtual time
+#: stretches by SCALE under the rescaling, so the per-op cost carries
+#: the same factor.
+RECORD_OVERHEAD = 1e-6 * SCALE
+PLATFORM = replace(COMET, record_overhead=RECORD_OVERHEAD)
+CODEC = "dedup+zlib"
+#: (mode, codec) cells of the sweep grid.
+GRID = [("per_record", None), ("batch", None),
+        ("per_record", CODEC), ("batch", CODEC)]
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def bench_config(codec):
+    return MimirConfig(page_size=PAGE_SIZE, comm_buffer_size=COMM_BUFFER,
+                       codec=codec)
+
+
+def measure(cluster, result, digest):
+    totals = cluster.metrics.totals()
+    records = totals.get("core.map.records", 0)
+    elapsed = result.elapsed
+    return {
+        "records": records,
+        "virtual_elapsed": elapsed,
+        "records_per_vsecond": records / elapsed if elapsed else None,
+        "max_rank_peak_bytes": result.max_rank_peak_bytes,
+        "codec_bytes_in": totals.get("core.codec.bytes_in", 0),
+        "codec_bytes_out": totals.get("core.codec.bytes_out", 0),
+        "digest": digest,
+    }
+
+
+# ------------------------------------------------------------------- apps
+
+def run_wordcount(batch, codec, *, nbytes, skewed):
+    cluster = Cluster(PLATFORM, nprocs=NPROCS)
+    text = (zipf_text(nbytes, seed=7) if skewed
+            else uniform_text(nbytes, seed=7))
+    cluster.pfs.store("bench/words.txt", text)
+    config = bench_config(codec)
+    result = cluster.run(lambda env: wordcount_mimir(
+        env, "bench/words.txt", config, batch=(batch == "batch"),
+        collect=True))
+    counts = {}
+    for rank_result in result.returns:
+        counts.update(rank_result.counts)
+    blob = b"".join(word + b"=%d\n" % count
+                    for word, count in sorted(counts.items()))
+    return measure(cluster, result, hashlib.sha256(blob).hexdigest())
+
+
+def run_pagerank(batch, codec, *, scale, iterations):
+    cluster = Cluster(PLATFORM, nprocs=NPROCS)
+    edges = kronecker_edges(scale=scale, edgefactor=8, seed=11)
+    cluster.pfs.store("bench/graph.bin", edges_to_bytes(edges))
+    config = bench_config(codec)
+    result = cluster.run(lambda env: pagerank_mimir(
+        env, "bench/graph.bin", config, iterations=iterations,
+        batch=(batch == "batch")))
+    scores = {}
+    for rank_result in result.returns:
+        scores.update(rank_result.ranks)
+    # float.hex is exact: any single-bit score divergence changes it.
+    blob = "".join(f"{v}:{score.hex()}\n"
+                   for v, score in sorted(scores.items())).encode()
+    return measure(cluster, result, hashlib.sha256(blob).hexdigest())
+
+
+def run_terasort(batch, codec, *, nrecords):
+    cluster = Cluster(PLATFORM, nprocs=NPROCS)
+    cluster.pfs.store("bench/tera.in", generate_records(nrecords, seed=3))
+    config = bench_config(codec)
+    result = cluster.run(lambda env: terasort_mimir(
+        env, "bench/tera.in", "bench/tera.out", config,
+        batch=(batch == "batch")))
+    output = cluster.pfs.fetch("bench/tera.out")
+    return measure(cluster, result, hashlib.sha256(output).hexdigest())
+
+
+def app_matrix(smoke: bool):
+    text = 1 << 15 if smoke else 1 << 17
+    return [
+        ("wordcount-uniform", run_wordcount,
+         {"nbytes": text, "skewed": False}),
+        ("wordcount-zipf", run_wordcount,
+         {"nbytes": text, "skewed": True}),
+        ("pagerank", run_pagerank,
+         {"scale": 5 if smoke else 6, "iterations": 2 if smoke else 3}),
+        ("terasort", run_terasort,
+         {"nrecords": 300 if smoke else 1500}),
+    ]
+
+
+# ------------------------------------------------------------------ sweep
+
+def run_sweep(smoke: bool, verbose: bool = False):
+    apps = {}
+    for name, runner, kwargs in app_matrix(smoke):
+        cells = {}
+        for mode, codec in GRID:
+            key = f"{mode}/{codec or 'raw'}"
+            cells[key] = dict(runner(mode, codec, **kwargs),
+                              mode=mode, codec=codec)
+            if verbose:
+                row = cells[key]
+                print(f"  {name:<18} {key:<20} "
+                      f"{row['records_per_vsecond']:>12.0f} rec/vs  "
+                      f"peak {row['max_rank_peak_bytes']:>8d}")
+        digests = {row["digest"] for row in cells.values()}
+        assert len(digests) == 1, \
+            f"{name}: outputs diverged across the sweep grid: {digests}"
+        base = cells["per_record/raw"]
+        batch = cells["batch/raw"]
+        zipped = cells[f"batch/{CODEC}"]
+        cells["summary"] = {
+            "identical": True,
+            "batch_speedup": (base["virtual_elapsed"]
+                              / batch["virtual_elapsed"]),
+            "codec_peak_reduction": (batch["max_rank_peak_bytes"]
+                                     / zipped["max_rank_peak_bytes"]),
+            "codec_compression_ratio": (
+                zipped["codec_bytes_in"] / zipped["codec_bytes_out"]
+                if zipped["codec_bytes_out"] else None),
+        }
+        apps[name] = cells
+    return apps
+
+
+def check_apps(apps):
+    for name, cells in apps.items():
+        summary = cells["summary"]
+        assert summary["identical"], f"{name}: outputs not identical"
+        # WordCount is pure framework dispatch, so batch mode must win
+        # big; PageRank/TeraSort keep per-record control-plane work
+        # (adjacency building, score folds) and only need to win.
+        floor = 3.0 if name.startswith("wordcount") else 1.0
+        assert summary["batch_speedup"] >= floor, \
+            (f"{name}: batch dispatch only {summary['batch_speedup']:.2f}x "
+             f"faster than per-record (need >= {floor}x)")
+    zipf = apps["wordcount-zipf"]["summary"]
+    assert zipf["codec_peak_reduction"] >= 1.2, \
+        (f"codec trims zipf peak by only "
+         f"{zipf['codec_peak_reduction']:.2f}x (need >= 1.2x)")
+
+
+# ------------------------------------------------------------- trajectory
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {"benchmark": "core-batch-throughput", "history": []}
+    entry["run"] = len(doc["history"]) + 1
+    doc["history"].append(entry)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def make_entry(smoke: bool) -> dict:
+    apps = run_sweep(smoke, verbose=True)
+    check_apps(apps)
+    return {
+        "smoke": smoke,
+        "config": {"nprocs": NPROCS, "page_size": PAGE_SIZE,
+                   "record_overhead": RECORD_OVERHEAD, "codec": CODEC},
+        "apps": apps,
+    }
+
+
+def check_regression(path: Path, entry: dict, *,
+                     tolerance: float = 0.10) -> list[str]:
+    """Compare batch throughput against the last committed matching entry.
+
+    Returns a list of human-readable failures (empty = gate passes).
+    Virtual time is deterministic, so any drop is a real code-path
+    regression, but the gate still allows ``tolerance`` slack for
+    intentional cost-model adjustments.
+    """
+    if not path.exists():
+        return []
+    history = json.loads(path.read_text())["history"]
+    previous = next((e for e in reversed(history)
+                     if e["smoke"] == entry["smoke"]), None)
+    if previous is None:
+        return []
+    failures = []
+    for name, cells in entry["apps"].items():
+        old = previous["apps"].get(name, {}).get("batch/raw")
+        if not old or not old.get("records_per_vsecond"):
+            continue
+        new_tp = cells["batch/raw"]["records_per_vsecond"]
+        floor = old["records_per_vsecond"] * (1.0 - tolerance)
+        if new_tp < floor:
+            failures.append(
+                f"{name}: batch throughput {new_tp:.0f} rec/vs is below "
+                f"{floor:.0f} (last run {old['records_per_vsecond']:.0f}, "
+                f"tolerance {tolerance:.0%})")
+    return failures
+
+
+# ---------------------------------------------------------------- tracing
+
+def write_batch_trace(path: str, *, nbytes: int) -> None:
+    """One batch WordCount with spans attached, exported for Perfetto."""
+    from repro.apps.wordcount import wc_map_batch, wc_reduce_batch
+    from repro.core import Mimir
+    from repro.obs import write_chrome_trace
+    from repro.tools.trace import Trace
+
+    cluster = Cluster(PLATFORM, nprocs=NPROCS)
+    cluster.pfs.store("bench/words.txt", uniform_text(nbytes, seed=7))
+    trace = Trace()
+    config = bench_config(None)
+
+    def rank_fn(env):
+        mimir = Mimir(env, config, trace=trace)
+        with trace.span(env, "wordcount-batch", rank=env.comm.rank):
+            kvs = mimir.map_text_file("bench/words.txt", wc_map_batch)
+            out = mimir.reduce(kvs, wc_reduce_batch,
+                               out_layout=config.layout)
+            unique = len(out)
+            out.free()
+        return unique
+
+    cluster.run(rank_fn)
+    write_chrome_trace(trace, path)
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_batch_speedup_codec_reduction_and_identity(benchmark):
+    apps = benchmark.pedantic(run_sweep, args=(True,), rounds=1,
+                              iterations=1)
+    check_apps(apps)
+    print(f"\n== core throughput: {NPROCS} ranks, smoke sizes ==")
+    for name, cells in apps.items():
+        summary = cells["summary"]
+        print(f"  {name:<18} batch {summary['batch_speedup']:.1f}x, "
+              f"codec peak /{summary['codec_peak_reduction']:.2f}, "
+              "outputs identical")
+
+
+# ------------------------------------------------------------------ driver
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep for CI")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip updating BENCH_core.json")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if batch throughput regressed >10% "
+                             "vs the last committed matching entry")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="also export a Perfetto trace of one "
+                             "batch wordcount run")
+    args = parser.parse_args(argv)
+
+    print(f"core benchmark: {NPROCS} ranks, page {PAGE_SIZE}, "
+          f"record overhead {RECORD_OVERHEAD * 1e6:.0f} virtual us, "
+          f"codec {CODEC}")
+    entry = make_entry(args.smoke)
+    for name, cells in entry["apps"].items():
+        summary = cells["summary"]
+        print(f"{name:<18}: batch {summary['batch_speedup']:.1f}x "
+              f"faster, codec peak reduction "
+              f"{summary['codec_peak_reduction']:.2f}x, "
+              "outputs bit-identical across the grid")
+
+    if args.check:
+        failures = check_regression(BENCH_PATH, entry)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("regression gate: ok")
+    if args.trace_out:
+        write_batch_trace(args.trace_out,
+                          nbytes=1 << 14 if args.smoke else 1 << 16)
+        print(f"perfetto trace written to {args.trace_out}")
+    if not args.no_write:
+        append_trajectory(BENCH_PATH, entry)
+        print(f"trajectory appended to {BENCH_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.apps.bfs import vertex_partitioner
 from repro.cluster import RankEnv
-from repro.core import KVLayout, Mimir, MimirConfig, pack_u64, unpack_u64
+from repro.core import (
+    KVLayout,
+    Mimir,
+    MimirConfig,
+    batch_kernel,
+    pack_u64,
+    unpack_u64,
+)
 from repro.datasets.graph500 import EDGE_RECORD_SIZE
 
 #: KV-hint for PageRank: fixed 8-byte vertex id and 8-byte float64.
@@ -39,6 +46,25 @@ def unpack_f64(data: bytes) -> float:
 def pr_combine(key: bytes, a: bytes, b: bytes) -> bytes:
     """Sum two partial rank contributions."""
     return _F64.pack(_F64.unpack(a)[0] + _F64.unpack(b)[0])
+
+
+@batch_kernel
+def pr_fold_batch(bucket, batch) -> None:
+    """Batch partial-reduce fold: sum contributions over one KV page.
+
+    Folds in record order with ``existing + incoming``, exactly like
+    the per-record :func:`pr_combine` path, so the float sums are
+    bitwise identical.
+    """
+    get = bucket.get
+    put = bucket.set
+    for key, value in batch.pairs_bytes():
+        existing = get(key)
+        if existing is None:
+            put(key, value)
+        else:
+            put(key, _F64.pack(_F64.unpack(existing)[0] +
+                               _F64.unpack(value)[0]))
 
 
 @dataclass
@@ -73,11 +99,14 @@ def pagerank_mimir(env: RankEnv, path: str,
                    config: MimirConfig | None = None, *,
                    damping: float = 0.85, iterations: int = 20,
                    tolerance: float = 1e-9, hint: bool = False,
-                   compress: bool = False) -> PageRankResult:
+                   compress: bool = False,
+                   batch: bool = False) -> PageRankResult:
     """Run PageRank over a directed edge list on the PFS.
 
     Vertices are every id that appears as a source or target; dangling
     vertices redistribute their mass uniformly, so the scores sum to 1.
+    ``batch=True`` emits each vertex's contribution fan-out as one run
+    and folds with the batch kernel; scores are bitwise identical.
     """
     config = config or MimirConfig()
     if hint:
@@ -86,6 +115,9 @@ def pagerank_mimir(env: RankEnv, path: str,
     comm = env.comm
 
     adjacency = _build_adjacency(mimir, path)
+    # Batch mode emits pre-packed target keys in one run per vertex.
+    packed = ({v: [pack_u64(t) for t in targets]
+               for v, targets in adjacency.items()} if batch else None)
 
     # Vertex universe: sources are local; targets may be unowned here.
     def emit_vertices(ctx, chunk: bytes) -> None:
@@ -111,19 +143,28 @@ def pagerank_mimir(env: RankEnv, path: str,
                        if not adjacency.get(v))
         dangling = comm.allsum(dangling)
 
-        def emit_contributions(ctx, items=tuple(scores.items())):
-            for v, score in items:
-                targets = adjacency.get(v)
-                if targets:
-                    share = _F64.pack(score / len(targets))
-                    for t in targets:
-                        ctx.emit(pack_u64(t), share)
+        if batch:
+            def emit_contributions(ctx, items=tuple(scores.items())):
+                for v, score in items:
+                    targets = packed.get(v)
+                    if targets:
+                        ctx.emit_run(targets,
+                                     _F64.pack(score / len(targets)))
+        else:
+            def emit_contributions(ctx, items=tuple(scores.items())):
+                for v, score in items:
+                    targets = adjacency.get(v)
+                    if targets:
+                        share = _F64.pack(score / len(targets))
+                        for t in targets:
+                            ctx.emit(pack_u64(t), share)
 
         contrib_kvs = mimir.map_items(
             [None], lambda ctx, _item: emit_contributions(ctx),
             partitioner=vertex_partitioner,
             combine_fn=pr_combine if compress else None)
-        summed = mimir.partial_reduce(contrib_kvs, pr_combine,
+        summed = mimir.partial_reduce(contrib_kvs,
+                                      pr_fold_batch if batch else pr_combine,
                                       out_layout=config.layout)
 
         base = (1.0 - damping) / nvertices + \

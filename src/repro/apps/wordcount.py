@@ -17,6 +17,7 @@ from repro.core import (
     KVLayout,
     Mimir,
     MimirConfig,
+    batch_kernel,
     pack_u64,
     unpack_u64,
 )
@@ -34,13 +35,43 @@ def wc_map(ctx, chunk: bytes) -> None:
         ctx.emit(word, _ONE)
 
 
+@batch_kernel
+def wc_map_batch(ctx, chunk: bytes) -> None:
+    """Batch form of :func:`wc_map`: one dispatch per input chunk.
+
+    Emits the same ``(word, 1)`` records in the same order as the
+    per-record form, so the shuffle traffic is byte-identical.
+    """
+    ctx.emit_run(chunk.split(), _ONE)
+
+
 def wc_reduce(ctx, key: bytes, values: list[bytes]) -> None:
     ctx.emit(key, pack_u64(sum(unpack_u64(v) for v in values)))
+
+
+@batch_kernel
+def wc_reduce_batch(ctx, groups) -> None:
+    """Batch form of :func:`wc_reduce`: one dispatch per KMV page."""
+    for key, values in groups:
+        ctx.emit(key, pack_u64(sum(unpack_u64(v) for v in values)))
 
 
 def wc_combine(key: bytes, a: bytes, b: bytes) -> bytes:
     """Sum two partial counts (combine / partial-reduce callback)."""
     return pack_u64(unpack_u64(a) + unpack_u64(b))
+
+
+@batch_kernel
+def wc_fold_batch(bucket, batch) -> None:
+    """Batch partial-reduce fold: sum counts over one KV page."""
+    get = bucket.get
+    put = bucket.set
+    for key, value in batch.pairs_bytes():
+        existing = get(key)
+        if existing is None:
+            put(key, value)
+        else:
+            put(key, pack_u64(unpack_u64(existing) + unpack_u64(value)))
 
 
 @dataclass
@@ -58,20 +89,26 @@ class WordCountResult:
 def wordcount_mimir(env: RankEnv, path: str,
                     config: MimirConfig | None = None, *,
                     hint: bool = False, compress: bool = False,
-                    partial: bool = False,
+                    partial: bool = False, batch: bool = False,
                     collect: bool = False) -> WordCountResult:
-    """Run WordCount through Mimir with the selected optimizations."""
+    """Run WordCount through Mimir with the selected optimizations.
+
+    ``batch=True`` swaps every kernel for its whole-page form; counts
+    and intermediate byte streams are identical either way.
+    """
     config = config or MimirConfig()
     if hint:
         config = config.with_layout(WC_HINT_LAYOUT)
     mimir = Mimir(env, config)
-    kvs = mimir.map_text_file(path, wc_map,
+    kvs = mimir.map_text_file(path, wc_map_batch if batch else wc_map,
                               combine_fn=wc_combine if compress else None)
     if partial:
-        out = mimir.partial_reduce(kvs, wc_combine,
+        out = mimir.partial_reduce(kvs,
+                                   wc_fold_batch if batch else wc_combine,
                                    out_layout=config.layout)
     else:
-        out = mimir.reduce(kvs, wc_reduce, out_layout=config.layout)
+        out = mimir.reduce(kvs, wc_reduce_batch if batch else wc_reduce,
+                           out_layout=config.layout)
     unique = len(out)
     total = sum(unpack_u64(v) for _, v in out.records())
     counts = ({k: unpack_u64(v) for k, v in out.records()}

@@ -3,16 +3,28 @@
 Public API:
 
 - :class:`MimirConfig` - page/buffer sizes and the optional
-  optimizations (KV-hint, partial reduction, KV compression).
+  optimizations (KV-hint, partial reduction, KV compression, codec).
 - :class:`KVLayout` - record encoding, including the KV-hint fixed and
   NUL-terminated layouts (``CSTRING``).
 - :class:`KVContainer` / :class:`KMVContainer` - the KVC/KMVC opaque
   objects that grow and shrink page-by-page.
+- :class:`KVBatch` / :func:`batch_kernel` - the columnar batch view
+  over container pages and the marker that opts a kernel into
+  whole-batch dispatch.
 - :class:`Mimir` - the job driver: ``map_file`` / ``map_kvs`` /
   ``map_items`` (with the implicit interleaved aggregate), ``reduce``
   (implicit convert), and ``partial_reduce``.
 """
 
+from repro.core.batch import KVBatch, batch_kernel, is_batch_kernel
+from repro.core.codec import (
+    CODEC_SPECS,
+    ChainCodec,
+    Codec,
+    KVDedupCodec,
+    ZlibCodec,
+    get_codec,
+)
 from repro.core.config import MimirConfig
 from repro.core.errors import ConfigError, RecordTooLargeError
 from repro.core.job import MapContext, Mimir, ReduceContext
@@ -27,10 +39,15 @@ from repro.core.records import (
 )
 
 __all__ = [
+    "CODEC_SPECS",
     "CSTRING",
+    "ChainCodec",
+    "Codec",
     "ConfigError",
     "KMVContainer",
+    "KVBatch",
     "KVContainer",
+    "KVDedupCodec",
     "KVLayout",
     "MapContext",
     "Mimir",
@@ -38,6 +55,10 @@ __all__ = [
     "RecordTooLargeError",
     "ReduceContext",
     "VARIABLE",
+    "ZlibCodec",
+    "batch_kernel",
+    "get_codec",
+    "is_batch_kernel",
     "pack_u64",
     "unpack_u64",
 ]

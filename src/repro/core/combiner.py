@@ -45,10 +45,25 @@ class Combiner:
         self.records_in = 0
         self.records_merged = 0
         self.partial_flushes = 0
+        self._ops = 0
+        self.batch_records = 0
+        self.batch_calls = 0
+
+    @property
+    def ops(self) -> int:
+        """Framework dispatches including the downstream shuffle's."""
+        return self._ops + self.shuffler.ops
 
     def emit(self, key: bytes, value: bytes) -> None:
         """Insert one KV, merging with any bucketed duplicate."""
         self.records_in += 1
+        self._ops += 1
+        self._merge(key, value)
+        if self.bucket_budget is not None and \
+                self.bucket.accounted_bytes > self.bucket_budget:
+            self._partial_flush()
+
+    def _merge(self, key: bytes, value: bytes) -> None:
         existing = self.bucket.get(key)
         if existing is None:
             self.bucket.set(key, value)
@@ -56,6 +71,38 @@ class Combiner:
             merged = self.combine_fn(key, existing, value)
             self.bucket.set(key, merged)
             self.records_merged += 1
+
+    # -------------------------------------------------------- batch emits
+
+    def emit_run(self, keys, value: bytes) -> None:
+        """Merge ``(key, value)`` for every key in one dispatch."""
+        count = 0
+        for key in keys:
+            self._merge(key, value)
+            count += 1
+        self._note_batch(count)
+
+    def emit_pairs(self, pairs) -> None:
+        """Merge ``(key, value)`` pairs in one dispatch."""
+        count = 0
+        for key, value in pairs:
+            self._merge(key, value)
+            count += 1
+        self._note_batch(count)
+
+    def emit_batch(self, batch) -> None:
+        """Merge every record of a :class:`~repro.core.batch.KVBatch`."""
+        count = 0
+        for key, value in batch.pairs_bytes():
+            self._merge(key, value)
+            count += 1
+        self._note_batch(count)
+
+    def _note_batch(self, count: int) -> None:
+        self.records_in += count
+        self._ops += 1
+        self.batch_records += count
+        self.batch_calls += 1
         if self.bucket_budget is not None and \
                 self.bucket.accounted_bytes > self.bucket_budget:
             self._partial_flush()
@@ -66,12 +113,30 @@ class Combiner:
         Compression restarts empty afterwards, trading some compression
         ratio for a hard cap on the bucket's contribution to the peak.
         """
-        merged_bytes = 0
-        for key, value in self.bucket.drain():
-            self.shuffler.emit(key, value)
-            merged_bytes += len(key) + len(value)
-        self.env.charge_compute(merged_bytes)
+        self.env.charge_compute(self._drain_to_shuffler())
         self.partial_flushes += 1
+
+    def _drain_to_shuffler(self) -> int:
+        """Drain the bucket; returns the merged payload bytes moved.
+
+        In batch mode the survivors flow out through one
+        ``emit_pairs`` dispatch; the records, bytes, and exchange
+        trigger points are identical to the per-record drain.
+        """
+        merged_bytes = 0
+        if self.batch_calls:
+            def _accounted():
+                nonlocal merged_bytes
+                for key, value in self.bucket.drain():
+                    merged_bytes += len(key) + len(value)
+                    yield key, value
+
+            self.shuffler.emit_pairs(_accounted())
+        else:
+            for key, value in self.bucket.drain():
+                self.shuffler.emit(key, value)
+                merged_bytes += len(key) + len(value)
+        return merged_bytes
 
     @property
     def compression_ratio(self) -> float:
@@ -83,13 +148,9 @@ class Combiner:
 
     def finish(self) -> None:
         """Drain the bucket into the shuffler and run the aggregate."""
-        merged_bytes = 0
-        for key, value in self.bucket.drain():
-            self.shuffler.emit(key, value)
-            merged_bytes += len(key) + len(value)
         # Merging work is proportional to the records that went through
         # the bucket, not just the survivors.
-        self.env.charge_compute(merged_bytes)
+        self.env.charge_compute(self._drain_to_shuffler())
         metrics = self.env.metrics
         metrics.inc("core.combine.records_in", self.records_in)
         metrics.inc("core.combine.merged", self.records_merged)

@@ -50,6 +50,12 @@ class MimirConfig:
     #: the rank's memory budget, its oldest pages spill to the PFS and
     #: the job degrades gracefully instead of failing with OOM.
     out_of_core: bool = False
+    #: Shuffle/spill codec spec (``None``, ``"zlib"``, ``"dedup"``, or
+    #: ``"dedup+zlib"``): the paper's KV-compression optimization.
+    #: Filled container pages freeze into compressed segments, spill
+    #: chunks are framed on the PFS, and exchange parts are framed on
+    #: the wire - outputs stay byte-identical either way.
+    codec: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "page_size", parse_size(self.page_size))
@@ -75,6 +81,13 @@ class MimirConfig:
                     "combiner_bucket_budget must be positive or None, "
                     f"got {self.combiner_bucket_budget!r}")
             object.__setattr__(self, "combiner_bucket_budget", budget)
+        if self.codec is not None:
+            from repro.core.codec import CODEC_SPECS
+
+            if self.codec not in CODEC_SPECS:
+                raise ConfigError(
+                    f"unknown codec {self.codec!r}; expected one of "
+                    f"{CODEC_SPECS} or None")
 
     def with_layout(self, layout: KVLayout) -> "MimirConfig":
         """A copy of this config with a different intermediate layout."""

@@ -59,10 +59,24 @@ def iter_grouped(env: RankEnv, kvc: KVContainer, config: MimirConfig,
     so the full KMV never exists at once.
     """
     if config.out_of_core and _needs_partitioned_convert(env, kvc):
-        yield from _iter_grouped_partitioned(env, kvc, config)
+        for groups in _iter_partition_dicts(env, kvc, config):
+            yield from groups.items()
         return
     kmvc = convert_to_kmv(env, kvc, config)
     yield from kmvc.consume()
+
+
+def iter_grouped_batches(env: RankEnv, kvc: KVContainer, config: MimirConfig,
+                         ) -> "Iterator[list[tuple[bytes, list[bytes]]]]":
+    """Batch variant of :func:`iter_grouped`: one group-list per KMV
+    page (or per out-of-core partition), same groups in the same order.
+    """
+    if config.out_of_core and _needs_partitioned_convert(env, kvc):
+        for groups in _iter_partition_dicts(env, kvc, config):
+            yield list(groups.items())
+        return
+    kmvc = convert_to_kmv(env, kvc, config)
+    yield from kmvc.consume_batches()
 
 
 def _needs_partitioned_convert(env: RankEnv, kvc: KVContainer) -> bool:
@@ -77,9 +91,9 @@ def _needs_partitioned_convert(env: RankEnv, kvc: KVContainer) -> bool:
     return kvc.nbytes * 2 > available
 
 
-def _iter_grouped_partitioned(env: RankEnv, kvc: KVContainer,
-                              config: MimirConfig,
-                              ) -> "Iterator[tuple[bytes, list[bytes]]]":
+def _iter_partition_dicts(env: RankEnv, kvc: KVContainer,
+                          config: MimirConfig,
+                          ) -> "Iterator[dict[bytes, list[bytes]]]":
     import zlib
 
     from repro.io.spill import SpillWriter
@@ -117,7 +131,7 @@ def _iter_grouped_partitioned(env: RankEnv, kvc: KVContainer,
         # The partition's working set is charged while it is live.
         env.tracker.allocate(grouped_bytes, "convert_partition")
         try:
-            yield from groups.items()
+            yield groups
         finally:
             env.tracker.free(grouped_bytes, "convert_partition")
             writer.discard()

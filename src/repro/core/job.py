@@ -23,9 +23,11 @@ from repro.cluster import RankEnv
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from repro.core.metrics import PhaseProfile
+from repro.core.batch import is_batch_kernel
+from repro.core.codec import get_codec
 from repro.core.combiner import CombineFn, Combiner
 from repro.core.config import MimirConfig
-from repro.core.convert import iter_grouped
+from repro.core.convert import iter_grouped, iter_grouped_batches
 from repro.core.kvcontainer import KVContainer
 from repro.core.partial_reduction import PartialReduceFn, partial_reduce
 from repro.core.records import KVLayout
@@ -39,7 +41,12 @@ from repro.io.readers import (
 
 
 class MapContext:
-    """Handed to map callbacks; ``emit`` routes into the shuffle."""
+    """Handed to map callbacks; ``emit`` routes into the shuffle.
+
+    Batch kernels use the bulk emits, which cost one framework
+    dispatch for a whole run of records instead of one per record
+    while producing byte-identical shuffle traffic.
+    """
 
     __slots__ = ("_sink", "nemitted")
 
@@ -50,6 +57,31 @@ class MapContext:
     def emit(self, key: bytes, value: bytes) -> None:
         self._sink.emit(key, value)
         self.nemitted += 1
+
+    def emit_run(self, keys, value: bytes) -> None:
+        """Emit ``(key, value)`` for every key, sharing one value."""
+        sink = self._sink
+        before = sink.records_in if hasattr(sink, "records_in") \
+            else sink.records_sent
+        sink.emit_run(keys, value)
+        after = sink.records_in if hasattr(sink, "records_in") \
+            else sink.records_sent
+        self.nemitted += after - before
+
+    def emit_pairs(self, pairs) -> None:
+        """Emit an iterable of ``(key, value)`` pairs in one dispatch."""
+        sink = self._sink
+        before = sink.records_in if hasattr(sink, "records_in") \
+            else sink.records_sent
+        sink.emit_pairs(pairs)
+        after = sink.records_in if hasattr(sink, "records_in") \
+            else sink.records_sent
+        self.nemitted += after - before
+
+    def emit_batch(self, batch) -> None:
+        """Re-emit every record of a :class:`~repro.core.batch.KVBatch`."""
+        self._sink.emit_batch(batch)
+        self.nemitted += len(batch)
 
 
 class ReduceContext:
@@ -91,10 +123,13 @@ class Mimir:
                  layout: KVLayout | None,
                  out_tag: str) -> KVContainer:
         """Shared skeleton: feed records through (combiner ->) shuffler."""
+        stream_layout = layout or self.config.layout
         out = KVContainer(
-            self.env.tracker, layout or self.config.layout,
+            self.env.tracker, stream_layout,
             self.config.page_size, tag=out_tag,
-            spill_env=self.env if self.config.out_of_core else None)
+            spill_env=self.env if self.config.out_of_core else None,
+            codec=get_codec(self.config.codec, stream_layout),
+            codec_env=self.env)
         span = self.profile.phase("map+aggregate") if self.profile \
             else nullcontext()
         started = self.env.comm.clock.time
@@ -104,16 +139,17 @@ class Mimir:
             shuffler = Shuffler(self.env, self.config, out, partitioner,
                                 trace=self.trace)
             if combine_fn is not None:
-                combiner = Combiner(self.env, self.config, combine_fn,
-                                    shuffler)
-                ctx = MapContext(combiner)
-                feed(ctx)
-                combiner.finish()
+                sink = Combiner(self.env, self.config, combine_fn, shuffler)
+                feed(MapContext(sink))
+                sink.finish()
             else:
-                ctx = MapContext(shuffler)
-                feed(ctx)
+                sink = shuffler
+                feed(MapContext(sink))
                 shuffler.finish()
             self.env.charge_compute(shuffler.bytes_sent)
+            # Framework dispatch overhead: one op per emit call (a batch
+            # emit is one op however many records it carried).
+            self.env.charge_ops(sink.ops)
         self.last_map_stats = {
             "records": shuffler.records_sent,
             "kv_bytes": shuffler.bytes_sent,
@@ -121,11 +157,16 @@ class Mimir:
         }
         if self.profile is not None:
             self.profile.annotate_last(rounds=shuffler.rounds,
-                                       spilled_bytes=out.spilled_bytes)
+                                       spilled_bytes=out.spilled_bytes,
+                                       batch_records=sink.batch_records,
+                                       batch_pages=sink.batch_calls)
         metrics = self.env.metrics
         metrics.inc("core.map.records", shuffler.records_sent)
         metrics.inc("core.map.kv_bytes", shuffler.bytes_sent)
         metrics.inc("core.map.rounds", shuffler.rounds)
+        if sink.batch_calls:
+            metrics.inc("core.batch.records", sink.batch_records)
+            metrics.inc("core.batch.pages", sink.batch_calls)
         if out.spilled_bytes:
             metrics.inc("core.spill.bytes", out.spilled_bytes)
         metrics.observe("core.phase.seconds",
@@ -151,8 +192,8 @@ class Mimir:
         scratch = KVContainer(
             self.env.tracker, kvc.layout, self.config.page_size, tag=tag,
             spill_env=self.env if self.config.out_of_core else None)
-        for key, value in kvc.records():
-            scratch.add(key, value)
+        for batch in kvc.batches():
+            scratch.extend_encoded(batch.arena)
         self.env.charge_compute(scratch.nbytes)
         return scratch
 
@@ -267,12 +308,23 @@ class Mimir:
         By default the input is consumed as it drains (Mimir's
         memory-efficient multistage path); ``consume=False`` reads it
         non-destructively so a cached container can be mapped again.
+
+        A ``map_fn`` marked with
+        :func:`~repro.core.batch.batch_kernel` is called once per
+        container page as ``map_fn(ctx, batch)`` with a
+        :class:`~repro.core.batch.KVBatch` instead of once per record.
         """
 
-        def feed(ctx: MapContext) -> None:
-            source = kvc.consume() if consume else kvc.records()
-            for key, value in source:
-                map_fn(ctx, key, value)
+        if is_batch_kernel(map_fn):
+            def feed(ctx: MapContext) -> None:
+                source = kvc.consume_batches() if consume else kvc.batches()
+                for batch in source:
+                    map_fn(ctx, batch)
+        else:
+            def feed(ctx: MapContext) -> None:
+                source = kvc.consume() if consume else kvc.records()
+                for key, value in source:
+                    map_fn(ctx, key, value)
 
         return self._run_map(feed, combine_fn=combine_fn,
                              partitioner=partitioner, layout=layout,
@@ -291,6 +343,11 @@ class Mimir:
         scratch copy and leaves the input intact).  The reduce output
         stays rank-local; a global barrier separates the map and reduce
         sides, as the MapReduce model requires.
+
+        A ``reduce_fn`` marked with
+        :func:`~repro.core.batch.batch_kernel` is called once per KMV
+        page as ``reduce_fn(ctx, groups)`` with a list of
+        ``(key, values)`` groups instead of once per key.
         """
         self.env.comm.barrier()
         span = self.profile.phase("convert+reduce") if self.profile \
@@ -307,14 +364,36 @@ class Mimir:
             ctx = ReduceContext(out)
             reduced_bytes = 0
             reduced_keys = 0
-            for key, values in iter_grouped(self.env, source, self.config):
-                reduce_fn(ctx, key, values)
-                reduced_keys += 1
-                reduced_bytes += len(key) + sum(len(v) for v in values)
+            ops = 0
+            batch_pages = 0
+            if is_batch_kernel(reduce_fn):
+                for groups in iter_grouped_batches(self.env, source,
+                                                   self.config):
+                    reduce_fn(ctx, groups)
+                    ops += 1
+                    batch_pages += 1
+                    reduced_keys += len(groups)
+                    reduced_bytes += sum(
+                        len(key) + sum(len(v) for v in values)
+                        for key, values in groups)
+            else:
+                for key, values in iter_grouped(self.env, source,
+                                                self.config):
+                    reduce_fn(ctx, key, values)
+                    ops += 1
+                    reduced_keys += 1
+                    reduced_bytes += len(key) + sum(len(v) for v in values)
             self.env.charge_compute(reduced_bytes)
+            self.env.charge_ops(ops)
         metrics = self.env.metrics
         metrics.inc("core.reduce.keys", reduced_keys)
         metrics.inc("core.reduce.bytes", reduced_bytes)
+        if batch_pages:
+            metrics.inc("core.batch.records", reduced_keys)
+            metrics.inc("core.batch.pages", batch_pages)
+        if self.profile is not None and batch_pages:
+            self.profile.annotate_last(batch_records=reduced_keys,
+                                       batch_pages=batch_pages)
         if out.spilled_bytes:
             metrics.inc("core.spill.bytes", out.spilled_bytes)
         metrics.observe("core.phase.seconds",
@@ -330,19 +409,32 @@ class Mimir:
                        out_layout: KVLayout | None = None,
                        out_tag: str = "kv_out",
                        consume: bool = True) -> KVContainer:
-        """Streaming replacement for convert+reduce (needs invariance)."""
+        """Streaming replacement for convert+reduce (needs invariance).
+
+        A ``pr_fn`` marked with :func:`~repro.core.batch.batch_kernel`
+        folds one :class:`~repro.core.batch.KVBatch` per call as
+        ``pr_fn(bucket, batch)``.
+        """
         self.env.comm.barrier()
         span = self.profile.phase("partial_reduce") if self.profile \
             else nullcontext()
         started = self.env.comm.clock.time
         if self.trace is not None:
             self.trace.emit(self.env, "phase", "partial_reduce:start")
+        stats: dict[str, int] = {}
         with span:
             source = self._reusable(kvc, consume, "kv_refold")
             out = partial_reduce(self.env, source, pr_fn, self.config,
-                                 out_layout, out_tag)
+                                 out_layout, out_tag, stats=stats)
         metrics = self.env.metrics
         metrics.inc("core.partial_reduce.records", len(out))
+        if stats.get("batch_pages"):
+            metrics.inc("core.batch.records", stats["batch_records"])
+            metrics.inc("core.batch.pages", stats["batch_pages"])
+            if self.profile is not None:
+                self.profile.annotate_last(
+                    batch_records=stats["batch_records"],
+                    batch_pages=stats["batch_pages"])
         if out.spilled_bytes:
             metrics.inc("core.spill.bytes", out.spilled_bytes)
         metrics.observe("core.phase.seconds",
@@ -384,16 +476,19 @@ class Mimir:
         return out
 
     def global_sort(self, kvc: KVContainer, *, by_value: bool = False,
+                    batch: bool = False,
                     out_tag: str = "kv_gsorted") -> KVContainer:
         """Total order across ranks via sample sort (consumes input).
 
         After this call, every record on rank ``r`` sorts at or before
         every record on rank ``r+1``, and each rank is locally sorted.
+        ``batch=True`` routes records through the columnar batch path
+        (identical splitters, identical output).
         """
         from repro.core.sort import global_sort
 
         return global_sort(self.env, kvc, self.config, by_value=by_value,
-                           out_tag=out_tag)
+                           batch=batch, out_tag=out_tag)
 
     def gather(self, kvc: KVContainer, nranks: int = 1,
                out_tag: str = "kv_gathered") -> KVContainer:
@@ -410,15 +505,36 @@ class Mimir:
 
     # -------------------------------------------------------------- sinks
 
+    def _rendered_pages(self, kvc: KVContainer, render):
+        """Rendered output, one ``bytes`` chunk per container page.
+
+        Streaming alternative to one whole-output ``b"".join``, which
+        would hold the entire rendered payload next to the container
+        and double the peak on large outputs.
+        """
+        for batch in kvc.batches():
+            yield b"".join(render(k, v) for k, v in batch.pairs_bytes())
+
     def write_output(self, kvc: KVContainer, path: str,
                      render: Callable[[bytes, bytes], bytes] | None = None,
                      ) -> None:
-        """Persist a rank's output KVs to ``<path>.<rank>`` on the PFS."""
+        """Persist a rank's output KVs to ``<path>.<rank>`` on the PFS.
+
+        Output is rendered and written page by page, so peak memory
+        stays one page of rendered payload above the container itself.
+        """
         if render is None:
             render = lambda k, v: k + b"\t" + v + b"\n"  # noqa: E731
-        payload = b"".join(render(k, v) for k, v in kvc.records())
-        self.env.pfs.write(self.env.comm, f"{path}.{self.env.comm.rank}",
-                           payload)
+        target = f"{path}.{self.env.comm.rank}"
+        wrote = False
+        for chunk in self._rendered_pages(kvc, render):
+            if not wrote:
+                self.env.pfs.write(self.env.comm, target, chunk)
+                wrote = True
+            else:
+                self.env.pfs.append(self.env.comm, target, chunk)
+        if not wrote:
+            self.env.pfs.write(self.env.comm, target, b"")
 
     def write_output_global(self, kvc: KVContainer, path: str,
                             render: Callable[[bytes, bytes], bytes] | None
@@ -429,12 +545,20 @@ class Mimir:
         the rendered sizes (MPI-IO style), so the file's contents are
         rank 0's records, then rank 1's, and so on - combined with
         :meth:`global_sort` this produces one globally sorted file.
+        Rendering runs twice (a sizing pass, then page-sized writes at
+        advancing offsets) instead of joining the whole payload in
+        memory; ``render`` must therefore be deterministic.
         """
         if render is None:
             render = lambda k, v: k + b"\t" + v + b"\n"  # noqa: E731
-        payload = b"".join(render(k, v) for k, v in kvc.records())
-        offset = self.env.comm.exscan(len(payload))
-        self.env.pfs.write_at(self.env.comm, path, offset, payload)
+        nbytes = sum(len(chunk) for chunk in self._rendered_pages(kvc, render))
+        offset = self.env.comm.exscan(nbytes)
+        if nbytes == 0:
+            self.env.pfs.write_at(self.env.comm, path, offset, b"")
+        else:
+            for chunk in self._rendered_pages(kvc, render):
+                self.env.pfs.write_at(self.env.comm, path, offset, chunk)
+                offset += len(chunk)
         self.env.comm.barrier()  # file complete once anyone returns
 
     def collect(self, kvc: KVContainer) -> list[tuple[bytes, bytes]]:

@@ -186,12 +186,28 @@ class KMVContainer:
         for page in self.pages:
             yield from self._iter_page(page)
 
+    def batches(self) -> Iterator[list[tuple[bytes, list[bytes]]]]:
+        """Non-destructive iteration, one group-list per page."""
+        for page in self.pages:
+            yield list(self._iter_page(page))
+
     def consume(self) -> Iterator[tuple[bytes, list[bytes]]]:
         """Destructive iteration freeing pages as they are read."""
         while self.pages:
             page = self.pages.pop(0)
             try:
                 yield from self._iter_page(page)
+            finally:
+                self._release_page(page)
+        self.nrecords = 0
+        self.nbytes = 0
+
+    def consume_batches(self) -> Iterator[list[tuple[bytes, list[bytes]]]]:
+        """Destructive iteration, one group-list per page."""
+        while self.pages:
+            page = self.pages.pop(0)
+            try:
+                yield list(self._iter_page(page))
             finally:
                 self._release_page(page)
         self.nrecords = 0

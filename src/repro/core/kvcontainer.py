@@ -12,12 +12,23 @@ container that cannot acquire another page within its rank's memory
 budget writes its oldest full pages to the parallel file system and
 keeps going.  Record order is preserved (spilled prefix, resident
 suffix) and readers stream the spilled chunks back at PFS cost.
+
+With a :mod:`~repro.core.codec` attached, every page that fills is
+*frozen*: compressed into an immutable segment charged to the tracker
+at its exact encoded size (immutable variable-size blobs are
+fragmentation-safe, like the KMVC's jumbo pages).  Only the live tail
+page stays uncompressed, so the resident footprint of a skewed stream
+shrinks by roughly the compression ratio - the paper's Figs. 11-12
+memory win.  Frozen segments spill and stream back through the same
+out-of-core machinery, already encoded.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Iterator
 
+from repro.core.batch import KVBatch
 from repro.core.errors import RecordTooLargeError
 from repro.core.records import KVLayout
 from repro.memory.pages import Page, PagePool
@@ -25,6 +36,17 @@ from repro.memory.tracker import MemoryTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster import RankEnv
+    from repro.core.codec import Codec
+
+
+class _FrozenSegment:
+    """One filled page, codec-framed and charged at its exact size."""
+
+    __slots__ = ("payload", "raw_len")
+
+    def __init__(self, payload: bytes, raw_len: int):
+        self.payload = payload
+        self.raw_len = raw_len
 
 
 class KVContainer:
@@ -36,16 +58,26 @@ class KVContainer:
     def __init__(self, tracker: MemoryTracker, layout: KVLayout | None = None,
                  page_size: int = 64 * 1024, tag: str = "kvc", *,
                  spill_env: "RankEnv | None" = None,
-                 resident_page_budget: int | None = None):
+                 resident_page_budget: int | None = None,
+                 codec: "Codec | None" = None,
+                 codec_env: "RankEnv | None" = None):
         self.layout = layout or KVLayout()
         self.pool = PagePool(tracker, page_size, tag=tag)
         self.pages: list[Page] = []
+        #: Codec-frozen full pages, between the spilled prefix and the
+        #: live tail page(s) in record order.
+        self._frozen: list[_FrozenSegment] = []
         self.nrecords = 0
         self.nbytes = 0  # payload bytes (not page capacity)
         self.tag = tag
         self._spill_env = spill_env
         self._resident_budget = resident_page_budget
         self._spill_writer = None
+        self._codec = codec
+        #: Environment charged for codec compute and metrics; falls
+        #: back to the spill env so out-of-core containers need no
+        #: extra wiring.
+        self._codec_env = codec_env or spill_env
         #: Pin count: while positive, destructive operations
         #: (``consume`` / ``free``) are refused.  The intermediate
         #: cache (:mod:`repro.sched.cache`) pins containers that a
@@ -60,23 +92,61 @@ class KVContainer:
             raise RecordTooLargeError(needed, self.pool.page_size,
                                       f"KVC page ({self.tag})")
         if not self.pages or self.pages[-1].remaining < needed:
+            if self._codec is not None and self.pages:
+                self._freeze_tail()
             if self._spill_env is not None:
                 self._make_room()
             self.pages.append(self.pool.acquire())
         return self.pages[-1]
 
+    # --------------------------------------------------------- compression
+
+    def _freeze_tail(self) -> None:
+        """Compress the filled tail page into an immutable segment."""
+        page = self.pages.pop()
+        raw_len = page.used
+        frame = self._codec.encode_frame(bytes(page.view))
+        env = self._codec_env
+        if env is not None:
+            from repro.core.codec import note_encode
+
+            note_encode(env.metrics, raw_len, len(frame))
+            env.charge_compute(raw_len)
+        # Charge the segment before releasing the page: if the tracker
+        # refuses, the container is still intact with the page live.
+        self.pool.tracker.allocate(len(frame), self.tag)
+        self._frozen.append(_FrozenSegment(frame, raw_len))
+        self.pool.release(page)
+
+    def _thaw(self, segment: _FrozenSegment) -> bytes:
+        raw = self._codec.decode_frame(segment.payload)
+        env = self._codec_env
+        if env is not None:
+            env.charge_compute(segment.raw_len)
+        return raw
+
     # -------------------------------------------------------- out-of-core
 
-    def _make_room(self) -> None:
-        """Spill oldest pages until one more page fits the budget."""
-        over_budget = (self._resident_budget is not None and
-                       len(self.pages) >= self._resident_budget)
-        while self.pages and (over_budget or not self.pool.would_fit()):
-            self._spill_front_page()
-            over_budget = (self._resident_budget is not None and
-                           len(self.pages) >= self._resident_budget)
+    def _over_budget(self) -> bool:
+        return (self._resident_budget is not None and
+                len(self._frozen) + len(self.pages) >= self._resident_budget)
 
-    def _spill_front_page(self) -> None:
+    def _make_room(self) -> None:
+        """Spill oldest resident data until one more page fits the budget.
+
+        While the container is pinned, spilling is refused outright: a
+        pinned container has live readers iterating its pages, and
+        popping the front page would pull records out from under them.
+        The resident budget is advisory; the hard memory limit stays
+        enforced by the tracker at ``acquire`` time.
+        """
+        if self.pins:
+            return
+        while (self._frozen or self.pages) and \
+                (self._over_budget() or not self.pool.would_fit()):
+            self._spill_front()
+
+    def _spill_front(self) -> None:
         from repro.io.spill import SpillWriter
 
         env = self._spill_env
@@ -84,10 +154,16 @@ class KVContainer:
         if self._spill_writer is None:
             KVContainer._spill_seq += 1
             self._spill_writer = SpillWriter(
-                env.pfs, env.comm, f"kvc_{self.tag}_{KVContainer._spill_seq}")
-        page = self.pages.pop(0)
-        self._spill_writer.write_chunk(page.view)
-        self.pool.release(page)
+                env.pfs, env.comm, f"kvc_{self.tag}_{KVContainer._spill_seq}",
+                codec=self._codec)
+        if self._frozen:
+            segment = self._frozen.pop(0)
+            self._spill_writer.write_encoded(segment.payload)
+            self.pool.tracker.free(len(segment.payload), self.tag)
+        else:
+            page = self.pages.pop(0)
+            self._spill_writer.write_chunk(page.view)
+            self.pool.release(page)
 
     @property
     def spilled(self) -> bool:
@@ -113,35 +189,97 @@ class KVContainer:
     def extend_encoded(self, buf: bytes | memoryview) -> int:
         """Append a packed run of records (e.g. one received shuffle part).
 
-        Records are re-split at page boundaries, so a record never
-        straddles two pages.  Returns the number of records added.
+        One boundary scan plus bulk page-sized copies: records are
+        re-split at page boundaries exactly as per-record insertion
+        would (a record never straddles two pages), without decoding or
+        re-encoding anything.  Returns the number of records added.
         """
         if isinstance(buf, memoryview):
             buf = bytes(buf)
+        roff = self.layout.scan(buf)[0]
+        n = len(roff) - 1
+        if n <= 0:
+            return 0
+        view = memoryview(buf)
+        i = 0
+        while i < n:
+            page = self._tail_page(roff[i + 1] - roff[i])
+            # Largest j with roff[j] - roff[i] <= the page's free space:
+            # every record i..j-1 lands on this page in one copy.
+            j = bisect_right(roff, roff[i] + page.remaining, i + 1, n + 1) - 1
+            page.write(view[roff[i] : roff[j]])
+            i = j
+        self.nrecords += n
+        self.nbytes += roff[-1]
+        return n
+
+    def extend_pairs(self, pairs) -> int:
+        """Append ``(key, value)`` pairs in one frame (batch rebuild)."""
+        encode = self.layout.encode
         added = 0
-        offset = 0
-        end = len(buf)
-        layout = self.layout
-        while offset < end:
-            _key, _value, next_offset = layout.decode(buf, offset)
-            self.add_record_bytes(buf[offset:next_offset])
-            offset = next_offset
+        for key, value in pairs:
+            self.add_record_bytes(encode(key, value))
             added += 1
         return added
 
     # ------------------------------------------------------------ iterate
 
+    def batches(self) -> Iterator[KVBatch]:
+        """Non-destructive batch iteration: one :class:`KVBatch` per
+        spilled chunk, frozen segment, or resident page, in record
+        order.  Each batch is valid until the iterator advances."""
+        if self._spill_writer is not None:
+            for chunk in self._spill_writer.reader():
+                yield KVBatch(chunk, self.layout)
+        for segment in self._frozen:
+            yield KVBatch(self._thaw(segment), self.layout)
+        for page in self.pages:
+            yield KVBatch(page.data, self.layout, page.used)
+
     def records(self) -> Iterator[tuple[bytes, bytes]]:
         """Non-destructive iteration over all records.
 
         Spilled pages (oldest data) stream back first at PFS read cost,
-        preserving insertion order.
+        preserving insertion order.  Compatibility shim over
+        :meth:`batches`.
         """
+        for batch in self.batches():
+            yield from batch.pairs_bytes()
+
+    def consume_batches(self) -> Iterator[KVBatch]:
+        """Destructive batch iteration: backing storage is freed as
+        each batch is left behind.  Refused while pinned."""
+        if self.pins:
+            raise RuntimeError(
+                f"cannot consume pinned container {self.tag!r} "
+                f"({self.pins} pins held)")
+        return self._consume_batches()
+
+    def _consume_batches(self) -> Iterator[KVBatch]:
         if self._spill_writer is not None:
-            for chunk in self._spill_writer.reader():
-                yield from self.layout.iter_records(chunk)
-        for page in self.pages:
-            yield from self.layout.iter_records(page.view)
+            reader = self._spill_writer.reader()
+            try:
+                for chunk in reader:
+                    yield KVBatch(chunk, self.layout)
+            finally:
+                self._spill_writer.discard()
+                self._spill_writer = None
+        while self._frozen:
+            segment = self._frozen.pop(0)
+            try:
+                yield KVBatch(self._thaw(segment), self.layout)
+            finally:
+                self.pool.tracker.free(len(segment.payload), self.tag)
+        while self.pages:
+            page = self.pages.pop(0)
+            try:
+                yield KVBatch(page.data, self.layout, page.used)
+            finally:
+                consumed_bytes = page.used
+                self.pool.release(page)
+                self.nbytes = max(0, self.nbytes - consumed_bytes)
+        self.nrecords = 0
+        self.nbytes = 0
 
     def consume(self) -> Iterator[tuple[bytes, bytes]]:
         """Destructive iteration: each page is freed once fully read.
@@ -157,24 +295,8 @@ class KVContainer:
         return self._consume()
 
     def _consume(self) -> Iterator[tuple[bytes, bytes]]:
-        if self._spill_writer is not None:
-            reader = self._spill_writer.reader()
-            try:
-                for chunk in reader:
-                    yield from self.layout.iter_records(chunk)
-            finally:
-                self._spill_writer.discard()
-                self._spill_writer = None
-        while self.pages:
-            page = self.pages.pop(0)
-            try:
-                yield from self.layout.iter_records(page.view)
-            finally:
-                consumed_bytes = page.used
-                self.pool.release(page)
-                self.nbytes -= consumed_bytes
-        self.nrecords = 0
-        self.nbytes = 0
+        for batch in self._consume_batches():
+            yield from batch.pairs_bytes()
 
     # ------------------------------------------------------------- manage
 
@@ -195,6 +317,9 @@ class KVContainer:
                 f"({self.pins} pins held)")
         while self.pages:
             self.pool.release(self.pages.pop())
+        while self._frozen:
+            segment = self._frozen.pop()
+            self.pool.tracker.free(len(segment.payload), self.tag)
         if self._spill_writer is not None:
             self._spill_writer.discard()
             self._spill_writer = None
@@ -203,16 +328,19 @@ class KVContainer:
 
     @property
     def memory_bytes(self) -> int:
-        """Bytes of page capacity currently held."""
-        return len(self.pages) * self.pool.page_size
+        """Bytes of page capacity plus frozen-segment bytes held."""
+        return len(self.pages) * self.pool.page_size + \
+            sum(len(s.payload) for s in self._frozen)
 
     @property
     def npages(self) -> int:
-        return len(self.pages)
+        """Resident storage units (live pages plus frozen segments)."""
+        return len(self.pages) + len(self._frozen)
 
     def __len__(self) -> int:
         return self.nrecords
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"KVContainer(nrecords={self.nrecords}, nbytes={self.nbytes}, "
-                f"pages={len(self.pages)}x{self.pool.page_size})")
+                f"pages={len(self.pages)}x{self.pool.page_size}, "
+                f"frozen={len(self._frozen)})")

@@ -29,6 +29,11 @@ class PhaseRecord:
     rounds: int = 0
     #: Bytes the phase's output container spilled to the PFS.
     spilled_bytes: int = 0
+    #: Records that moved through whole-batch kernel dispatches.
+    batch_records: int = 0
+    #: Whole-batch dispatches (one per page or chunk); 0 means the
+    #: phase ran entirely on the per-record path.
+    batch_pages: int = 0
 
     @property
     def duration(self) -> float:
@@ -63,7 +68,9 @@ class PhaseProfile:
             ))
 
     def annotate_last(self, *, rounds: int | None = None,
-                      spilled_bytes: int | None = None) -> None:
+                      spilled_bytes: int | None = None,
+                      batch_records: int | None = None,
+                      batch_pages: int | None = None) -> None:
         """Amend the most recent record with post-phase driver stats.
 
         The ``phase`` context manager closes before the driver knows
@@ -78,6 +85,10 @@ class PhaseProfile:
             record.rounds = rounds
         if spilled_bytes is not None:
             record.spilled_bytes = spilled_bytes
+        if batch_records is not None:
+            record.batch_records = batch_records
+        if batch_pages is not None:
+            record.batch_pages = batch_pages
 
     def total_rounds(self) -> int:
         return sum(r.rounds for r in self.records)
@@ -104,9 +115,11 @@ class PhaseProfile:
     def render(self) -> str:
         """Human-readable per-phase table."""
         lines = [f"{'phase':<16} {'time(s)':>10} {'mem delta':>12} "
-                 f"{'peak':>12} {'rounds':>7} {'spilled':>10}"]
+                 f"{'peak':>12} {'rounds':>7} {'spilled':>10} "
+                 f"{'batched':>9}"]
         for r in self.records:
             lines.append(f"{r.name:<16} {r.duration:>10.4f} "
                          f"{r.mem_delta:>+12d} {r.peak_so_far:>12d} "
-                         f"{r.rounds:>7d} {r.spilled_bytes:>10d}")
+                         f"{r.rounds:>7d} {r.spilled_bytes:>10d} "
+                         f"{r.batch_records:>9d}")
         return "\n".join(lines)

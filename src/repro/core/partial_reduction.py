@@ -25,24 +25,51 @@ from repro.core.records import KVLayout
 PartialReduceFn = Callable[[bytes, bytes, bytes], bytes]
 
 
-def partial_reduce(env: RankEnv, kvc: KVContainer, pr_fn: PartialReduceFn,
+def partial_reduce(env: RankEnv, kvc: KVContainer, pr_fn,
                    config: MimirConfig, out_layout: KVLayout | None = None,
-                   out_tag: str = "kv_out") -> KVContainer:
-    """Fold ``kvc`` (consumed) into one KV per unique key."""
+                   out_tag: str = "kv_out",
+                   stats: dict | None = None) -> KVContainer:
+    """Fold ``kvc`` (consumed) into one KV per unique key.
+
+    ``pr_fn`` is either a per-record fold (``pr_fn(key, a, b) -> value``)
+    or, when marked with :func:`~repro.core.batch.batch_kernel`, a
+    whole-batch fold called as ``pr_fn(bucket, batch)`` once per
+    container page.  Both forms produce the same bucket contents (and
+    so the same output), but the batch form costs one framework
+    dispatch per page instead of one per record.
+    """
+    from repro.core.batch import is_batch_kernel
+
     bucket = AccountedBucket(env.tracker, config.bucket_entry_overhead,
                              tag="pr_bucket")
     scanned = 0
-    for key, value in kvc.consume():
-        scanned += len(key) + len(value)
-        existing = bucket.get(key)
-        if existing is None:
-            bucket.set(key, value)
-        else:
-            bucket.set(key, pr_fn(key, existing, value))
+    ops = 0
+    batch_records = 0
+    batch_pages = 0
+    if is_batch_kernel(pr_fn):
+        for batch in kvc.consume_batches():
+            scanned += batch.payload_bytes
+            pr_fn(bucket, batch)
+            ops += 1
+            batch_records += len(batch)
+            batch_pages += 1
+    else:
+        for key, value in kvc.consume():
+            scanned += len(key) + len(value)
+            existing = bucket.get(key)
+            if existing is None:
+                bucket.set(key, value)
+            else:
+                bucket.set(key, pr_fn(key, existing, value))
+            ops += 1
 
     out = KVContainer(env.tracker, out_layout or kvc.layout,
                       config.page_size, tag=out_tag)
     for key, value in bucket.drain():
         out.add(key, value)
     env.charge_compute(scanned + out.nbytes)
+    env.charge_ops(ops)
+    if stats is not None:
+        stats.update(ops=ops, batch_records=batch_records,
+                     batch_pages=batch_pages)
     return out

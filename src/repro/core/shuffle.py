@@ -23,6 +23,8 @@ import zlib
 from typing import Callable
 
 from repro.cluster import RankEnv
+from repro.core.batch import KVBatch
+from repro.core.codec import get_codec, note_encode
 from repro.core.config import MimirConfig
 from repro.core.errors import RecordTooLargeError
 from repro.core.kvcontainer import KVContainer
@@ -55,9 +57,17 @@ class Shuffler:
         env.tracker.allocate(config.comm_buffer_size, "recv_buffer")
         self._send = bytearray(config.comm_buffer_size)
         self._fill = [0] * self.nprocs  # bytes used per partition
+        self.codec = get_codec(config.codec, self.layout)
         self.rounds = 0
         self.records_sent = 0
         self.bytes_sent = 0
+        #: Framework dispatches performed (one per emit call, whether
+        #: that call carried one record or a whole batch); charged by
+        #: the driver through :meth:`RankEnv.charge_ops`.
+        self.ops = 0
+        #: Records and calls that arrived through the batch emits.
+        self.batch_records = 0
+        self.batch_calls = 0
         self._closed = False
 
     # -------------------------------------------------------------- emit
@@ -80,9 +90,14 @@ class Shuffler:
         self._fill[dest] += n
         self.records_sent += 1
         self.bytes_sent += n
+        self.ops += 1
 
-    def emit_record(self, record: bytes, dest: int) -> None:
+    def emit_record(self, record: bytes | memoryview, dest: int) -> None:
         """Insert a pre-encoded record bound for rank ``dest``."""
+        self._put_record(record, dest)
+        self.ops += 1
+
+    def _put_record(self, record: bytes | memoryview, dest: int) -> None:
         n = len(record)
         if n > self.part_size:
             raise RecordTooLargeError(n, self.part_size,
@@ -96,23 +111,137 @@ class Shuffler:
         self.records_sent += 1
         self.bytes_sent += n
 
+    # -------------------------------------------------------- batch emits
+    #
+    # One framework dispatch (one ``ops``) per *call* instead of per
+    # record.  Partition fills, exchange trigger points, and the
+    # resulting byte streams are identical to repeated single emits.
+
+    def emit_run(self, keys, value: bytes) -> None:
+        """Emit ``(key, value)`` for every key of a batch, same value."""
+        layout = self.layout
+        partitioner = self.partitioner
+        nprocs = self.nprocs
+        part_size = self.part_size
+        fill = self._fill
+        send = self._send
+        count = 0
+        nbytes = 0
+        for key in keys:
+            n = layout.encoded_size(key, value)
+            dest = partitioner(key, nprocs)
+            if n > part_size:
+                raise RecordTooLargeError(n, part_size,
+                                          "send-buffer partition")
+            if fill[dest] + n > part_size:
+                self.exchange(done=False)
+            base = dest * part_size + fill[dest]
+            layout.encode_into(send, base, key, value)
+            fill[dest] += n
+            count += 1
+            nbytes += n
+        self.records_sent += count
+        self.bytes_sent += nbytes
+        self.ops += 1
+        self.batch_records += count
+        self.batch_calls += 1
+
+    def emit_pairs(self, pairs) -> None:
+        """Emit ``(key, value)`` pairs in one framework dispatch."""
+        layout = self.layout
+        partitioner = self.partitioner
+        nprocs = self.nprocs
+        part_size = self.part_size
+        fill = self._fill
+        send = self._send
+        count = 0
+        nbytes = 0
+        for key, value in pairs:
+            n = layout.encoded_size(key, value)
+            dest = partitioner(key, nprocs)
+            if n > part_size:
+                raise RecordTooLargeError(n, part_size,
+                                          "send-buffer partition")
+            if fill[dest] + n > part_size:
+                self.exchange(done=False)
+            base = dest * part_size + fill[dest]
+            layout.encode_into(send, base, key, value)
+            fill[dest] += n
+            count += 1
+            nbytes += n
+        self.records_sent += count
+        self.bytes_sent += nbytes
+        self.ops += 1
+        self.batch_records += count
+        self.batch_calls += 1
+
+    def emit_batch(self, batch: KVBatch) -> None:
+        """Route every record of a :class:`KVBatch` by its key hash.
+
+        Records are copied as arena slices straight into their
+        partitions - no per-record encode, no per-record bytes objects
+        (the default crc32 partitioner hashes the key slice in place).
+        """
+        partitioner = self.partitioner
+        nprocs = self.nprocs
+        arena = batch.arena
+        roff = batch.roff
+        for i, (ks, ke) in enumerate(zip(batch.koff, batch.kend)):
+            dest = partitioner(arena[ks:ke], nprocs)
+            self._put_record(arena[roff[i] : roff[i + 1]], dest)
+        self.ops += 1
+        self.batch_records += len(batch)
+        self.batch_calls += 1
+
+    def emit_keyed_batch(self, batch: KVBatch, dest_for) -> None:
+        """Route every record of a batch via ``dest_for(key_bytes)``.
+
+        Used by the range partitioner of the global sort, whose
+        splitter comparison needs orderable ``bytes`` keys.
+        """
+        arena = batch.arena
+        roff = batch.roff
+        for i, (ks, ke) in enumerate(zip(batch.koff, batch.kend)):
+            dest = dest_for(bytes(arena[ks:ke]))
+            self._put_record(arena[roff[i] : roff[i + 1]], dest)
+        self.ops += 1
+        self.batch_records += len(batch)
+        self.batch_calls += 1
+
     # ---------------------------------------------------------- exchange
 
     def exchange(self, done: bool) -> bool:
         """One aggregate round; returns True when all ranks are done."""
         sends = []
         total = 0
+        send_view = memoryview(self._send)
         for dest in range(self.nprocs):
             base = dest * self.part_size
-            sends.append(bytes(self._send[base : base + self._fill[dest]]))
+            # Zero-copy: each part is a view over the live send buffer.
+            # The collective engine materialises it inside the enter
+            # barrier, so no joined per-rank byte string is built here.
+            part = send_view[base : base + self._fill[dest]]
             total += self._fill[dest]
+            if self.codec is not None and self._fill[dest]:
+                frame = self.codec.encode_frame(bytes(part))
+                note_encode(self.env.metrics, self._fill[dest], len(frame))
+                self.env.charge_compute(self._fill[dest])
+                part = frame
+            sends.append(part)
         received = self.env.comm.alltoallv(sends)
-        self._fill = [0] * self.nprocs
+        # Clear in place: the batch emits hold a local alias to this
+        # list across mid-batch exchanges, so rebinding would leave
+        # them counting against stale fills.
+        for dest in range(self.nprocs):
+            self._fill[dest] = 0
         self.rounds += 1
 
         recv_total = 0
         for part in received:
             if part:
+                if self.codec is not None:
+                    part = self.codec.decode_frame(part)
+                    self.env.charge_compute(len(part))
                 self.out_kvc.extend_encoded(part)
                 recv_total += len(part)
         # Copying out of the send buffer and into the KVC is local work.

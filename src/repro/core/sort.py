@@ -48,18 +48,30 @@ def range_partitioner(splitters: list[bytes]):
 def global_sort(env: RankEnv, kvc: KVContainer, config: MimirConfig, *,
                 by_value: bool = False,
                 oversample: int = DEFAULT_OVERSAMPLE,
+                batch: bool = False,
                 out_tag: str = "kv_gsorted") -> KVContainer:
     """Globally sort ``kvc`` (consumed) across all ranks.
 
     Returns this rank's slice of the total order.  Duplicate keys may
     land on either side of a splitter boundary but the global order is
     still correct (splitters compare with ``<=``).
+
+    With ``batch=True`` records move through the columnar batch path:
+    records are copied as arena slices (one dispatch per page) instead
+    of being re-encoded one by one.  The sample keys - and therefore
+    the splitters - are computed from the same materialised key list
+    in both modes, so the output is byte-identical.
     """
     comm = env.comm
     field = (lambda k, v: v) if by_value else (lambda k, v: k)
+    if by_value:
+        batch = False  # value routing stays per-record
 
     # Sample this rank's sort keys at regular strides.
-    local = [field(k, v) for k, v in kvc.records()]
+    if batch:
+        local = [k for b in kvc.batches() for k in b.keys_bytes()]
+    else:
+        local = [field(k, v) for k, v in kvc.records()]
     want = max(1, comm.size * oversample)
     stride = max(1, len(local) // want)
     sample = sorted(local)[::stride][:want] if local else []
@@ -88,13 +100,23 @@ def global_sort(env: RankEnv, kvc: KVContainer, config: MimirConfig, *,
             record = kvc.layout.encode(key, value)
             shuffler.emit_record(record,
                                  partition_value(value, comm.size))
+    elif batch:
+        dest_for = lambda key: partitioner(key, comm.size)  # noqa: E731
+        for kvbatch in kvc.consume_batches():
+            shuffler.emit_keyed_batch(kvbatch, dest_for)
     else:
         for key, value in kvc.consume():
             shuffler.emit(key, value)
     shuffler.finish()
     env.charge_compute(shuffler.bytes_sent)
+    env.charge_ops(shuffler.ops)
 
-    records = sorted(out.consume(), key=lambda kv: field(*kv))
+    if batch:
+        received = (kv for b in out.consume_batches()
+                    for kv in b.pairs_bytes())
+    else:
+        received = out.consume()
+    records = sorted(received, key=lambda kv: field(*kv))
     result = KVContainer(env.tracker, out.layout, config.page_size,
                          tag=out_tag)
     for key, value in records:

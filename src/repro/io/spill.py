@@ -8,25 +8,49 @@ straddle a page) can be decoded chunk-by-chunk on the way back in.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.io.pfs import ParallelFileSystem
 from repro.mpi.comm import SimComm
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.codec import Codec
+
 
 class SpillWriter:
-    """Appends page-sized chunks to ``spill/<name>.<rank>``."""
+    """Appends page-sized chunks to ``spill/<name>.<rank>``.
 
-    def __init__(self, pfs: ParallelFileSystem, comm: SimComm, name: str):
+    With a :mod:`~repro.core.codec` attached, each chunk is framed on
+    the way out and transparently decoded by the reader, so on-PFS
+    bytes (``total_bytes``, what the spill costs to write and read
+    back) shrink by the compression ratio while callers keep seeing
+    the original page payloads.
+    """
+
+    def __init__(self, pfs: ParallelFileSystem, comm: SimComm, name: str,
+                 *, codec: "Codec | None" = None):
         self.pfs = pfs
         self.comm = comm
         self.path = f"spill/{name}.{comm.rank}"
         self.chunks: list[tuple[int, int]] = []  # (offset, length)
         self.total_bytes = 0
+        self.codec = codec
 
     def write_chunk(self, data: bytes | bytearray | memoryview) -> None:
         """Spill one chunk (typically a full page) to the PFS."""
         payload = bytes(data)
         if not payload:
             return
+        if self.codec is not None:
+            payload = self.codec.encode_frame(payload)
+        self._append(payload)
+
+    def write_encoded(self, frame: bytes) -> None:
+        """Spill a chunk that is already codec-framed (a frozen page)."""
+        if frame:
+            self._append(frame)
+
+    def _append(self, payload: bytes) -> None:
         offset = self.pfs.append(self.comm, self.path, payload)
         self.chunks.append((offset, len(payload)))
         self.total_bytes += len(payload)
@@ -36,7 +60,8 @@ class SpillWriter:
         return len(self.chunks)
 
     def reader(self) -> "SpillReader":
-        return SpillReader(self.pfs, self.comm, self.path, list(self.chunks))
+        return SpillReader(self.pfs, self.comm, self.path, list(self.chunks),
+                           codec=self.codec)
 
     def discard(self) -> None:
         """Remove the spill file (job teardown)."""
@@ -48,11 +73,13 @@ class SpillReader:
     """Reads chunks back in write order, charging PFS read costs."""
 
     def __init__(self, pfs: ParallelFileSystem, comm: SimComm, path: str,
-                 chunks: list[tuple[int, int]]):
+                 chunks: list[tuple[int, int]], *,
+                 codec: "Codec | None" = None):
         self.pfs = pfs
         self.comm = comm
         self.path = path
         self.chunks = chunks
+        self.codec = codec
         self._next = 0
 
     def __iter__(self) -> "SpillReader":
@@ -63,7 +90,10 @@ class SpillReader:
             raise StopIteration
         offset, length = self.chunks[self._next]
         self._next += 1
-        return self.pfs.read(self.comm, self.path, offset, length)
+        data = self.pfs.read(self.comm, self.path, offset, length)
+        if self.codec is not None:
+            data = self.codec.decode_frame(data)
+        return data
 
     @property
     def remaining(self) -> int:

@@ -149,7 +149,12 @@ class SimComm:
                              sum(len(part) for part in sends))
         if self.size == 1:
             return [bytes(sends[0])]
-        return self._run("alltoallv", [bytes(part) for part in sends])
+        # Zero-copy: send parts may be memoryviews over live send
+        # buffers.  The collective engine materialises them with
+        # ``bytes()`` inside the enter barrier - while every rank
+        # thread is blocked - so exactly one copy happens, race-free,
+        # and the caller may reuse its buffers as soon as this returns.
+        return self._run("alltoallv", list(sends))
 
     # ------------------------------------------------------ point-to-point
 

@@ -112,6 +112,16 @@ register("core.spill.bytes", COUNTER, "bytes", "repro.core.job",
          "bytes phase output containers spilled to the PFS")
 register("core.phase.seconds", HISTOGRAM, "seconds", "repro.core.job",
          "virtual duration of each executed MapReduce phase")
+register("core.batch.records", COUNTER, "records", "repro.core.job",
+         "records that moved through whole-batch kernel dispatches")
+register("core.batch.pages", COUNTER, "pages", "repro.core.job",
+         "whole-batch kernel dispatches (one per page or chunk)")
+register("core.codec.chunks", COUNTER, "chunks", "repro.core.codec",
+         "page/exchange chunks framed by the configured codec")
+register("core.codec.bytes_in", COUNTER, "bytes", "repro.core.codec",
+         "raw bytes entering the codec (pre-compression)")
+register("core.codec.bytes_out", COUNTER, "bytes", "repro.core.codec",
+         "framed bytes leaving the codec (post-compression)")
 
 register("mpi.collectives", COUNTER, "calls", "repro.mpi.comm",
          "collective operations entered (barrier/allreduce/...)")

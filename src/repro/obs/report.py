@@ -39,6 +39,11 @@ class PhaseRow:
     count: int          # executions summed over ranks
     total: float        # virtual seconds summed over executions
     slowest: float      # the single slowest execution
+    #: Records that went through whole-batch kernel dispatches (0 for
+    #: phases that ran entirely per-record).
+    batch_records: int = 0
+    #: Whole-batch dispatches across ranks.
+    batch_pages: int = 0
 
     @property
     def mean(self) -> float:
@@ -56,6 +61,8 @@ def phase_rows_from_profiles(profiles) -> list[PhaseRow]:
             row.count += 1
             row.total += record.duration
             row.slowest = max(row.slowest, record.duration)
+            row.batch_records += getattr(record, "batch_records", 0)
+            row.batch_pages += getattr(record, "batch_pages", 0)
     return list(rows.values())
 
 
@@ -94,10 +101,11 @@ def render_phase_table(rows: list[PhaseRow]) -> str:
     if not rows:
         return "(no phase records)"
     lines = [f"{'phase':<20} {'execs':>6} {'total(s)':>10} "
-             f"{'mean(s)':>10} {'max(s)':>10}"]
+             f"{'mean(s)':>10} {'max(s)':>10} {'batched':>9}"]
     for row in sorted(rows, key=lambda r: -r.total):
         lines.append(f"{row.name:<20} {row.count:>6} {row.total:>10.4f} "
-                     f"{row.mean:>10.4f} {row.slowest:>10.4f}")
+                     f"{row.mean:>10.4f} {row.slowest:>10.4f} "
+                     f"{row.batch_records:>9d}")
     return "\n".join(lines)
 
 
