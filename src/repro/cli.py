@@ -182,10 +182,16 @@ def cmd_serve(args) -> int:
             print(f"error: bad --quota {spec!r} "
                   f"(want tenant=max_queued:max_concurrent)")
             return 2
+    scaling = None
+    if args.autoscale:
+        from repro.ft.elastic import ScalingPolicy
+
+        scaling = ScalingPolicy(max_ranks=args.autoscale_max)
     daemon = ServeDaemon(
         cluster,
         tenants=TenantManager(quotas, aging_rate=args.aging_rate),
-        config=ServeConfig(lease_ttl=args.lease_ttl))
+        config=ServeConfig(lease_ttl=args.lease_ttl),
+        scaling=scaling)
     interrupted = daemon.recover()
     if interrupted:
         print(f"recovered {len(interrupted)} interrupted job(s): "
@@ -259,6 +265,24 @@ def cmd_status(args) -> int:
 
 def cmd_cancel(args) -> int:
     _print_json(_serve_client(args).cancel(args.job_id))
+    return 0
+
+
+def cmd_logs(args) -> int:
+    client = _serve_client(args)
+    if args.follow:
+        for line in client.follow_log(args.job_id, offset=args.offset,
+                                      timeout=args.timeout):
+            print(line, flush=True)
+        return 0
+    if args.offset:
+        doc = client.job_log_since(args.job_id, args.offset)
+        for line in doc["lines"]:
+            print(line)
+        print(f"# state={doc['state']} next_offset={doc['next_offset']}",
+              file=sys.stderr)
+        return 0
+    sys.stdout.write(client.job_log(args.job_id))
     return 0
 
 
@@ -373,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "max_concurrent (repeatable)")
     p_srv.add_argument("--stage-demo", action="store_true",
                        help="stage the demo datasets on the PFS at boot")
+    p_srv.add_argument("--autoscale", action="store_true",
+                       help="let a ScalingPolicy resize the gang "
+                            "between rounds")
+    p_srv.add_argument("--autoscale-max", type=int, default=16,
+                       help="autoscaler rank ceiling (with --autoscale)")
     p_srv.add_argument("--duration", type=float, default=None,
                        help="exit after N seconds (CI smoke)")
     p_srv.set_defaults(fn=cmd_serve)
@@ -392,7 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub = sub.add_parser("submit", help="submit a job to the service")
     client_common(p_sub)
     p_sub.add_argument("app", help="catalog app (wordcount pagerank "
-                                   "kmeans bfs)")
+                                   "kmeans bfs stream_wordcount)")
     p_sub.add_argument("input", help="staged input name or shared PFS path")
     p_sub.add_argument("--param", action="append", metavar="K=V",
                        help="app parameter (repeatable)")
@@ -414,6 +443,19 @@ def build_parser() -> argparse.ArgumentParser:
     client_common(p_cx)
     p_cx.add_argument("job_id")
     p_cx.set_defaults(fn=cmd_cancel)
+
+    p_lg = sub.add_parser(
+        "logs", help="fetch (or follow) a job's service-side log")
+    client_common(p_lg)
+    p_lg.add_argument("job_id")
+    p_lg.add_argument("-f", "--follow", action="store_true",
+                      help="poll ?offset=N and stream new lines until "
+                           "the job is terminal")
+    p_lg.add_argument("--offset", type=int, default=0,
+                      help="start the cursor at line N")
+    p_lg.add_argument("--timeout", type=float, default=120.0,
+                      help="--follow timeout in seconds")
+    p_lg.set_defaults(fn=cmd_logs)
 
     p_ft = sub.add_parser("fetch", help="fetch a job's output artifact")
     client_common(p_ft)

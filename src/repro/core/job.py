@@ -408,12 +408,17 @@ class Mimir:
     def partial_reduce(self, kvc: KVContainer, pr_fn: PartialReduceFn, *,
                        out_layout: KVLayout | None = None,
                        out_tag: str = "kv_out",
-                       consume: bool = True) -> KVContainer:
+                       consume: bool = True,
+                       seed: KVContainer | None = None,
+                       seed_consume: bool = True) -> KVContainer:
         """Streaming replacement for convert+reduce (needs invariance).
 
         A ``pr_fn`` marked with :func:`~repro.core.batch.batch_kernel`
         folds one :class:`~repro.core.batch.KVBatch` per call as
-        ``pr_fn(bucket, batch)``.
+        ``pr_fn(bucket, batch)``.  ``seed`` pre-loads the fold bucket
+        from an existing aggregate (the incremental-window hook used by
+        :mod:`repro.stream`); pass ``seed_consume=False`` to read it
+        non-destructively.
         """
         self.env.comm.barrier()
         span = self.profile.phase("partial_reduce") if self.profile \
@@ -425,7 +430,8 @@ class Mimir:
         with span:
             source = self._reusable(kvc, consume, "kv_refold")
             out = partial_reduce(self.env, source, pr_fn, self.config,
-                                 out_layout, out_tag, stats=stats)
+                                 out_layout, out_tag, stats=stats,
+                                 seed=seed, seed_consume=seed_consume)
         metrics = self.env.metrics
         metrics.inc("core.partial_reduce.records", len(out))
         if stats.get("batch_pages"):

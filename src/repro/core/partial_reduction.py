@@ -28,7 +28,8 @@ PartialReduceFn = Callable[[bytes, bytes, bytes], bytes]
 def partial_reduce(env: RankEnv, kvc: KVContainer, pr_fn,
                    config: MimirConfig, out_layout: KVLayout | None = None,
                    out_tag: str = "kv_out",
-                   stats: dict | None = None) -> KVContainer:
+                   stats: dict | None = None, seed: KVContainer | None = None,
+                   seed_consume: bool = True) -> KVContainer:
     """Fold ``kvc`` (consumed) into one KV per unique key.
 
     ``pr_fn`` is either a per-record fold (``pr_fn(key, a, b) -> value``)
@@ -37,6 +38,11 @@ def partial_reduce(env: RankEnv, kvc: KVContainer, pr_fn,
     container page.  Both forms produce the same bucket contents (and
     so the same output), but the batch form costs one framework
     dispatch per page instead of one per record.
+
+    ``seed`` pre-loads the bucket from an existing aggregate *before*
+    any new record folds in, so an incremental window fold (seed = the
+    running aggregate, ``kvc`` = the new micro-batch) folds in the same
+    old-then-new order as one uninterrupted pass over all records.
     """
     from repro.core.batch import is_batch_kernel
 
@@ -46,6 +52,20 @@ def partial_reduce(env: RankEnv, kvc: KVContainer, pr_fn,
     ops = 0
     batch_records = 0
     batch_pages = 0
+    if seed is not None:
+        records = seed.consume() if seed_consume else seed.records()
+        for key, value in records:
+            scanned += len(key) + len(value)
+            existing = bucket.get(key)
+            if existing is None:
+                bucket.set(key, value)
+            elif is_batch_kernel(pr_fn):
+                raise ValueError(
+                    "seed container has duplicate keys; batch-kernel "
+                    "folds need a unique-key (already reduced) seed")
+            else:
+                bucket.set(key, pr_fn(key, existing, value))
+            ops += 1
     if is_batch_kernel(pr_fn):
         for batch in kvc.consume_batches():
             scanned += batch.payload_bytes

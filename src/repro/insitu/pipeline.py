@@ -51,13 +51,18 @@ class InSituAnalytics:
         self.level = level
         self.density = density
         self.threshold = max(1, int(density * sim.total_particles))
-        #: With ``use_plan`` each timestep's analysis runs as a
-        #: two-stage dataflow plan (salted per timestep) through
-        #: :mod:`repro.sched` - identical numbers, but schedulable
-        #: next to other jobs and visible in scheduler traces.
+        #: With ``use_plan`` each timestep's analysis is one
+        #: micro-batch on a live stream ingested through
+        #: ``Plan.source_stream`` - identical numbers, but the
+        #: timestep stages carry stream lineage keys (name + batch
+        #: index), schedulable next to other jobs and cacheable like
+        #: any :mod:`repro.stream` client.
         self.use_plan = use_plan
         self._plan_cache = cache
         self._plan_trace = trace
+        self._stream = None
+        self._plan = None
+        self._runner = None
 
     # ------------------------------------------------------------ in-situ
 
@@ -91,19 +96,33 @@ class InSituAnalytics:
         return StepSummary(timestep, dense)
 
     def _analyse_plan(self, map_fn, timestep: int):
-        """One timestep as a salted two-stage plan (same numbers)."""
+        """One timestep as a micro-batch on a live stream.
+
+        The simulation is a *live* producer: each analysed step pushes
+        one micro-batch onto a persistent :class:`~repro.stream.
+        source.StreamSource`, and the analysis stages derive from
+        ``Plan.source_stream`` - so their identities follow the stream
+        name + batch index discipline every other stream client uses
+        (same numbers as the direct path either way).
+        """
         from repro.sched.executor import PlanRunner
         from repro.sched.plan import Plan
+        from repro.stream.source import StreamSource
 
-        plan = Plan("insitu", self.config)
-        salt = f"t{timestep}"
-        counts = (plan.source([None], name="particles", salt=salt)
-                  .map(map_fn, name="bin", salt=salt)
+        if self._runner is None:
+            self._stream = StreamSource("insitu")
+            self._plan = Plan("insitu", self.config)
+            self._runner = PlanRunner(self.env, self._plan,
+                                      cache=self._plan_cache,
+                                      trace=self._plan_trace, job="insitu")
+        batch = self._stream.push([None], arrival=float(timestep))
+        counts = (self._plan
+                  .source_stream(self._stream, batch.index,
+                                 name=f"particles-t{timestep}")
+                  .map(map_fn, name="bin")
                   .partial_reduce(oc_combine, out_layout=self.config.layout,
-                                  name="density", salt=salt))
-        runner = PlanRunner(self.env, plan, cache=self._plan_cache,
-                            trace=self._plan_trace, job="insitu")
-        return runner.stream(counts)
+                                  name="density"))
+        return self._runner.stream(counts)
 
     # ----------------------------------------------------------- post-hoc
 

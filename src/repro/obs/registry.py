@@ -203,6 +203,27 @@ register("serve.journal.replays", COUNTER, "records", "repro.serve.journal",
          "journal records replayed during daemon recovery")
 register("serve.queue.depth", GAUGE, "jobs", "repro.serve.daemon",
          "jobs waiting in the admission queue after the last tick")
+register("serve.autoscale.events", COUNTER, "events", "repro.serve.daemon",
+         "gang resizes applied by the daemon's ScalingPolicy")
+register("serve.log.fetches", COUNTER, "calls", "repro.serve.daemon",
+         "incremental job-log fetches served (offset-based API)")
+
+register("stream.batches.ingested", COUNTER, "batches", "repro.sched.executor",
+         "micro-batches lowered through source_stream stages")
+register("stream.records.ingested", COUNTER, "records", "repro.sched.executor",
+         "stream records lowered through source_stream stages")
+register("stream.records.late", COUNTER, "records", "repro.stream.runner",
+         "records that arrived behind the event-time watermark")
+register("stream.windows.closed", COUNTER, "windows", "repro.stream.runner",
+         "windows finalized once the watermark passed their end")
+register("stream.windows.recomputed", COUNTER, "windows", "repro.stream.runner",
+         "closed windows re-finalized after late arrivals")
+register("stream.windows.resumed", COUNTER, "windows", "repro.stream.runner",
+         "windows restored from checkpoint instead of recomputed")
+register("stream.watermark", GAUGE, "seconds", "repro.stream.runner",
+         "current event-time watermark (max event time - lateness)")
+register("stream.window.lag", HISTOGRAM, "seconds", "repro.stream.runner",
+         "processing-time lag between a window's end and its close")
 
 
 # ------------------------------------------------------------ histogram

@@ -164,6 +164,13 @@ class PlanRunner:
             if callable(items):
                 items = items()
             return self.mimir.map_items(items, stage.fn, **common)
+        if parent.op == "source_stream":
+            batch = parent.params["stream"].batch(parent.params["index"])
+            self.env.metrics.inc("stream.batches.ingested")
+            self.env.metrics.inc("stream.records.ingested",
+                                 len(batch.records))
+            return self.mimir.map_items(batch.payloads(), stage.fn,
+                                        **common)
         kvc, preserved = self._input(parent)
         if preserved:
             kvc.pin()
@@ -176,7 +183,8 @@ class PlanRunner:
 
     def _kv_parent(self, stage: Stage) -> tuple[KVContainer, bool]:
         parent = stage.parents[0]
-        if parent.op in ("read_text", "read_binary", "source"):
+        if parent.op in ("read_text", "read_binary", "source",
+                         "source_stream"):
             raise ValueError(
                 f"stage {stage.name!r} ({stage.op}) needs a KV parent; "
                 f"{parent.name!r} is a raw input - map it first")

@@ -25,9 +25,10 @@ from repro.core.config import MimirConfig
 from repro.core.records import KVLayout
 
 #: Stage operations a plan may contain.  ``read_text`` / ``read_binary``
-#: / ``source`` are leaf inputs; the rest take KV parents.
-STAGE_OPS = ("read_text", "read_binary", "source", "map", "reduce",
-             "partial_reduce", "sort_local", "join")
+#: / ``source`` / ``source_stream`` are leaf inputs; the rest take KV
+#: parents.
+STAGE_OPS = ("read_text", "read_binary", "source", "source_stream", "map",
+             "reduce", "partial_reduce", "sort_local", "join")
 
 
 def _describe(value: Any) -> str:
@@ -228,6 +229,23 @@ class Plan:
         its name + salt, not its contents.
         """
         return self._derive("source", (), name=name, salt=salt, items=items)
+
+    def source_stream(self, stream: Any, index: int, *,
+                      name: str | None = None) -> Dataset:
+        """One micro-batch of a named stream (see :mod:`repro.stream`).
+
+        Identity is the stream's *name* plus the batch *index* - never
+        the records - so the stages derived from micro-batch ``i`` keep
+        the same lineage keys on every later window that includes batch
+        ``i``.  That is the key discipline behind incremental
+        recompute: unchanged batches hit the
+        :class:`~repro.sched.cache.StageCache` and only the newest
+        batch's stages execute.
+        """
+        return self._derive("source_stream", (),
+                            name=name or f"{stream.name}.b{index}",
+                            salt=f"{stream.name}@{index}",
+                            stream=stream, index=index)
 
     # ----------------------------------------------------------- plumbing
 

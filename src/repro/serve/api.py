@@ -15,6 +15,7 @@ POST    ``/jobs/<id>/lease``        explicit lease renewal
 POST    ``/jobs/<id>/cancel``       withdraw a queued job
 GET     ``/jobs/<id>/output``       the merged output artifact (bytes)
 GET     ``/jobs/<id>/log``          the job's service-side log
+GET     ``/jobs/<id>/log?offset=N`` incremental: JSON lines from ``N``
 GET     ``/healthz``                daemon health (no tenant needed)
 GET     ``/metrics``                ``serve.*`` / ``sched.*`` totals
 ======  ==========================  =======================================
@@ -27,7 +28,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -123,7 +126,9 @@ def _make_handler(daemon: ServeDaemon):
         # -------------------------------------------------------- routing
 
         def _route(self, method: str) -> tuple[int, Any, str]:
-            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            path, _, query = self.path.partition("?")
+            parts = [p for p in path.split("/") if p]
+            qs = urllib.parse.parse_qs(query)
             js = "application/json"
 
             if method == "GET" and parts == ["healthz"]:
@@ -175,6 +180,15 @@ def _make_handler(daemon: ServeDaemon):
                     return 200, data, "application/octet-stream"
                 if method == "GET" and len(parts) == 3 and \
                         parts[2] == "log":
+                    if "offset" in qs:
+                        try:
+                            offset = int(qs["offset"][0])
+                        except ValueError:
+                            raise ServeError(
+                                400, f"offset must be an integer, got "
+                                     f"{qs['offset'][0]!r}")
+                        return 200, daemon.job_log_since(
+                            parts[1], offset, tenant), js
                     text = daemon.job_log(parts[1], tenant)
                     return 200, text.encode(), "text/plain"
 
@@ -286,6 +300,32 @@ class ServeClient:
     def job_log(self, job_id: str) -> str:
         _status, raw, _ctype = self._request("GET", f"/jobs/{job_id}/log")
         return raw.decode()
+
+    def job_log_since(self, job_id: str, offset: int) -> dict[str, Any]:
+        """Incremental fetch: ``{"lines", "next_offset", "state"}``."""
+        return self._json("GET", f"/jobs/{job_id}/log?offset={int(offset)}")
+
+    def follow_log(self, job_id: str, *, offset: int = 0,
+                   interval: float = 0.05, timeout: float = 120.0):
+        """Yield log lines as they appear until the job is terminal.
+
+        The ``repro logs --follow`` loop: poll ``?offset=N``, advance
+        the cursor by ``next_offset``, and stop once a terminal-state
+        response carries no new lines (nothing more can be written).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job_log_since(job_id, offset)
+            yield from doc["lines"]
+            offset = doc["next_offset"]
+            if doc["state"] not in ("queued", "running") \
+                    and not doc["lines"]:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after {timeout}s")
+            if not doc["lines"]:
+                time.sleep(interval)
 
     def wait(self, job_id: str, *, timeout: float = 60.0,
              interval: float = 0.05) -> dict[str, Any]:

@@ -32,6 +32,7 @@ SERVE_APPS: dict[str, tuple[str, ...]] = {
     "pagerank": ("hint", "iterations", "compress"),
     "kmeans": ("k", "iterations", "seed"),
     "bfs": ("hint",),
+    "stream_wordcount": ("window", "nbatches"),
 }
 
 
@@ -102,6 +103,41 @@ def run_app(app: str, env: RankEnv, path: str,
         result = bfs_plan(env, path, ctx=ctx, checkpoint=checkpoint)
         return {"root": result.root, "levels": result.levels,
                 "visited": result.visited_local}
+    if app == "stream_wordcount":
+        from repro.stream.runner import StreamRunner
+        from repro.stream.scenarios import StreamWordCount
+        from repro.stream.source import StreamSource
+        from repro.stream.windows import TumblingWindows
+
+        # Replay the staged text as a document trickle: the input
+        # lines split into ``nbatches`` micro-batches, one document
+        # per line, windowed over virtual event time.  Checkpointed
+        # window state flows through ``checkpoint`` on the recovery
+        # path, so a crashed daemon resumes the stream from the last
+        # completed window rather than batch zero.
+        window = float(params.get("window", 10.0))
+        nbatches = max(1, int(params.get("nbatches", 4)))
+        lines = [ln for ln in env.pfs.read(env.comm, path).split(b"\n")
+                 if ln]
+        per = -(-len(lines) // nbatches) if lines else 1
+        payload_batches = []
+        index = 0
+        for i in range(nbatches):
+            chunk = lines[i * per:(i + 1) * per]
+            payload_batches.append(
+                [(index + j, doc) for j, doc in enumerate(chunk)])
+            index += len(chunk)
+        stream = StreamSource.from_payload_batches(
+            "serve-docs", payload_batches, interval=window / 2.0)
+        scenario = StreamWordCount(env)
+        runner = StreamRunner(env, scenario, stream,
+                              TumblingWindows(window), ctx=ctx,
+                              checkpoint=checkpoint, pace=False)
+        result = runner.run()
+        return {"counts": {k.decode("latin-1"): v
+                           for k, v in result.final.items()},
+                "windows": result.closed,
+                "resumed": result.resumed}
     raise ValueError(f"unknown app {app!r}")
 
 
@@ -142,7 +178,7 @@ def merge_output(app: str, returns: "list[Any]") -> bytes:
     rendered with ``repr`` - bit-identical scores stay bit-identical
     text.
     """
-    if app == "wordcount":
+    if app in ("wordcount", "stream_wordcount"):
         counts: dict[str, int] = {}
         for payload in returns:
             counts.update(payload["counts"])
@@ -178,4 +214,8 @@ def summarize(app: str, returns: "list[Any]") -> dict[str, Any]:
     if app == "bfs":
         return {"levels": returns[0]["levels"],
                 "visited": sum(p["visited"] for p in returns)}
+    if app == "stream_wordcount":
+        return {"unique": sum(len(p["counts"]) for p in returns),
+                "windows": returns[0]["windows"],
+                "resumed": sum(p["resumed"] for p in returns)}
     return {}

@@ -143,6 +143,7 @@ class ServeDaemon:
                  config: ServeConfig | None = None,
                  clock: Callable[[], float] = time.monotonic,
                  chaos: Any = None,
+                 scaling: Any = None,
                  trace: Trace | None = None):
         self.cluster = cluster
         self.config = config or ServeConfig()
@@ -152,7 +153,13 @@ class ServeDaemon:
         self.tenants = tenants or TenantManager(
             aging_rate=self.config.aging_rate)
         self.tenants.metrics = self.metrics
-        self.scheduler = Scheduler(cluster, trace=self.trace)
+        #: Optional :class:`~repro.ft.elastic.ScalingPolicy`: the
+        #: scheduler consults it between rounds, and every decision it
+        #: takes surfaces as a ``serve.autoscale.events`` count.
+        self.scaling = scaling
+        self.scheduler = Scheduler(cluster, trace=self.trace,
+                                   scaling=scaling)
+        self._scale_seen = 0
         self.tenants.install(self.scheduler)
         self.scheduler.on_admit = self._on_admit
         self.leases = LeaseTable(self.config.lease_ttl, clock=clock,
@@ -414,6 +421,10 @@ class ServeDaemon:
                 for outcome in self.scheduler.run_round():
                     self._finish(outcome)
                 progressed = self.scheduler.last_admitted > 0
+            scaled = len(self.scheduler.scale_events) - self._scale_seen
+            if scaled > 0:
+                self.metrics.inc("serve.autoscale.events", scaled)
+                self._scale_seen += scaled
             self._sweep()
             self.metrics.set_gauge("serve.queue.depth",
                                    self.scheduler.queue_depth)
@@ -503,7 +514,22 @@ class ServeDaemon:
     def job_log(self, job_id: str, tenant: "str | None" = None) -> str:
         with self._lock:
             job = self._get(job_id, tenant)
+            self.metrics.inc("serve.log.fetches")
             return "\n".join(job.log) + "\n"
+
+    def job_log_since(self, job_id: str, offset: int,
+                      tenant: "str | None" = None) -> dict:
+        """Incremental log fetch: lines from ``offset`` on, plus the
+        cursor for the next call - the ``?offset=N`` / ``--follow``
+        contract.  ``state`` lets a follower stop once the job is
+        terminal *and* it has drained every line."""
+        with self._lock:
+            job = self._get(job_id, tenant)
+            offset = max(0, min(int(offset), len(job.log)))
+            self.metrics.inc("serve.log.fetches")
+            return {"job_id": job.job_id, "state": job.state,
+                    "lines": list(job.log[offset:]),
+                    "next_offset": len(job.log)}
 
     def list_jobs(self, tenant: "str | None" = None) -> list[dict]:
         with self._lock:

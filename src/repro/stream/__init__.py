@@ -1,0 +1,30 @@
+"""Streaming & incremental MapReduce over the Plan DAG.
+
+Micro-batch ingestion (:class:`StreamSource` + ``Plan.source_stream``),
+event-time windows closed by a watermark (:mod:`repro.stream.windows`),
+and a :class:`StreamRunner` that recomputes only the newest batch's
+stages - everything already seen is served from the
+:class:`~repro.sched.cache.StageCache`, and finalized windows are
+checkpointed so a killed stream resumes where it stopped.
+"""
+
+from repro.stream.runner import StreamResult, StreamRunner
+from repro.stream.source import MicroBatch, StreamRecord, StreamSource
+from repro.stream.windows import (
+    GrowingWindows,
+    SlidingWindows,
+    TumblingWindows,
+    Window,
+)
+
+__all__ = [
+    "GrowingWindows",
+    "MicroBatch",
+    "SlidingWindows",
+    "StreamRecord",
+    "StreamResult",
+    "StreamRunner",
+    "StreamSource",
+    "TumblingWindows",
+    "Window",
+]

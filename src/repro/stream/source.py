@@ -1,0 +1,130 @@
+"""Micro-batch stream sources: seeded, replayable input schedules.
+
+A :class:`StreamSource` is a *named* sequence of :class:`MicroBatch`es,
+each carrying records stamped with an **event time** and scheduled to
+**arrive** at a virtual instant.  Two properties make it the streaming
+input of the Plan DAG:
+
+- **Identity by position, not contents.**  A plan references one batch
+  via :meth:`Plan.source_stream(stream, index) <repro.sched.plan.Plan.
+  source_stream>`; the derived stage keys hash the stream *name* and
+  the batch *index*, so re-ingesting the same schedule (a replay after
+  a crash, or the next window of a live run) reuses the exact lineage
+  keys - which is what lets unchanged micro-batches hit the
+  :class:`~repro.sched.cache.StageCache`.
+- **Replayability.**  The schedule is either seeded up front (demo
+  scenarios, tests) or appended to via :meth:`push` (the in-situ
+  client); either way :meth:`batch` answers for any already-ingested
+  index, so a resumed stream can rebuild what it needs.
+
+Event time and arrival time are decoupled on purpose: a record may
+*arrive* in batch 7 with an event time that belongs to a window the
+watermark already closed - the late-data path the runner must handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One stream element: an event-time stamp plus an opaque payload."""
+
+    time: float
+    payload: Any
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """One bounded slice of the stream, arriving at a virtual instant."""
+
+    index: int
+    arrival: float
+    records: tuple[StreamRecord, ...]
+
+    def payloads(self) -> list[Any]:
+        return [r.payload for r in self.records]
+
+    @property
+    def max_time(self) -> float:
+        """Largest event time in the batch (``-inf`` when empty)."""
+        return max((r.time for r in self.records), default=float("-inf"))
+
+
+class StreamSource:
+    """A named, replayable schedule of micro-batches.
+
+    The ``repr`` is intentionally just the name: it participates in
+    stage-parameter hashing (:func:`repro.sched.plan._describe`), and a
+    stream's identity must not change as batches are appended.
+    """
+
+    def __init__(self, name: str,
+                 batches: Iterable[MicroBatch] = ()):
+        self.name = name
+        self._batches: list[MicroBatch] = list(batches)
+        for i, batch in enumerate(self._batches):
+            if batch.index != i:
+                raise ValueError(f"batch {i} carries index {batch.index}")
+
+    def __repr__(self) -> str:
+        return f"StreamSource({self.name!r})"
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def batch(self, index: int) -> MicroBatch:
+        return self._batches[index]
+
+    def schedule(self) -> tuple[MicroBatch, ...]:
+        """The full batch sequence (replayed by a resuming runner)."""
+        return tuple(self._batches)
+
+    def push(self, payloads: Sequence[Any], *, arrival: float,
+             times: Sequence[float] | None = None) -> MicroBatch:
+        """Append one micro-batch (live producers, e.g. in-situ steps).
+
+        ``times`` defaults every record's event time to the arrival
+        instant.
+        """
+        if times is None:
+            times = [arrival] * len(payloads)
+        if len(times) != len(payloads):
+            raise ValueError("times and payloads must align")
+        batch = MicroBatch(len(self._batches), arrival,
+                           tuple(StreamRecord(t, p)
+                                 for t, p in zip(times, payloads)))
+        self._batches.append(batch)
+        return batch
+
+    def records(self, *, through: int | None = None) -> list[StreamRecord]:
+        """Every record of batches ``0..through`` (default: all).
+
+        This is the "same total input" a full-batch recompute runs
+        over when validating a streaming result.
+        """
+        last = len(self._batches) - 1 if through is None else through
+        out: list[StreamRecord] = []
+        for batch in self._batches[:last + 1]:
+            out.extend(batch.records)
+        return out
+
+    @classmethod
+    def from_payload_batches(cls, name: str,
+                             payload_batches: Iterable[Sequence[Any]], *,
+                             interval: float = 1.0,
+                             start: float = 0.0) -> "StreamSource":
+        """Seed a source from plain payload lists, one batch per entry.
+
+        Batch ``i`` arrives at ``start + i * interval`` and its records
+        take the arrival instant as their event time.
+        """
+        batches = []
+        for i, payloads in enumerate(payload_batches):
+            arrival = start + i * interval
+            batches.append(MicroBatch(i, arrival,
+                                      tuple(StreamRecord(arrival, p)
+                                            for p in payloads)))
+        return cls(name, batches)

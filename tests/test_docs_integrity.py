@@ -114,6 +114,26 @@ class TestObservabilityDocs:
         assert module.main() == 0, capsys.readouterr().out
 
 
+class TestStreamingDocs:
+    def test_streaming_example_executes(self, capsys):
+        """The first code block of docs/streaming.md runs verbatim."""
+        doc = (ROOT / "docs" / "streaming.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", doc, re.DOTALL)
+        assert blocks, "streaming.md lost its runnable example"
+        exec(compile(blocks[0], "docs/streaming.md", "exec"), {})
+        out = capsys.readouterr().out
+        assert "windows closed: 3" in out
+        assert "warm pass executed fewer stages: True" in out
+        assert "bit-identical: True" in out
+
+    def test_demo_scenarios_named_in_doc_exist(self):
+        from repro.stream.demo import DEMOS
+
+        doc = (ROOT / "docs" / "streaming.md").read_text()
+        for name in DEMOS:
+            assert f"`{name}`" in doc, f"scenario {name} undocumented"
+
+
 class TestExperimentsDoc:
     def test_every_figure_has_a_section(self):
         text = (ROOT / "EXPERIMENTS.md").read_text()

@@ -1,0 +1,60 @@
+"""The three streaming demo scenarios, validated against their twins.
+
+Each demo's acceptance bar is *bit identity*: the streamed finals,
+rendered, must equal the rendered output of a one-shot full-batch run
+over the same total input - including when the stream saw late data
+and repaired closed windows.
+"""
+
+from repro.stream.demo import (
+    demo_pagerank,
+    demo_sessionize,
+    demo_wordcount,
+)
+
+
+class TestWordCountDemo:
+    def test_stream_matches_batch_bit_for_bit(self):
+        summary = demo_wordcount()
+        assert summary["identical"]
+        assert summary["runs"][0]["closed"] == 3
+        assert summary["output"].endswith(b"\n")
+
+    def test_different_seed_still_identical(self):
+        assert demo_wordcount(seed=7)["identical"]
+
+
+class TestPageRankDemo:
+    def test_incremental_and_full_match_batch(self):
+        summary = demo_pagerank()
+        assert summary["identical"], "incremental stream diverged"
+        assert summary["full_identical"], "uncached stream diverged"
+
+    def test_incremental_recomputes_strictly_fewer_stages(self):
+        summary = demo_pagerank()
+        assert summary["stages_incremental"] < summary["stages_full"]
+        assert summary["cache_hits"] > 0
+        assert summary["update_speedup"] > 1.0
+
+    def test_scores_parse_as_floats(self):
+        summary = demo_pagerank(nbatches=4, iterations=1)
+        total = 0.0
+        for line in summary["output"].splitlines():
+            _vertex, score = line.split(b"\t")
+            total += float(score)
+        assert abs(total - 1.0) < 1e-9  # scores are a distribution
+
+
+class TestSessionizeDemo:
+    def test_late_clicks_repair_and_match_batch(self):
+        summary = demo_sessionize()
+        assert summary["identical"]
+        assert summary["late"] > 0, "demo stream lost its late clicks"
+        assert summary["recomputed"] > 0, "no window was repaired"
+
+    def test_sessions_cover_every_click(self):
+        summary = demo_sessionize()
+        clicks = sum(int(line.split(b"\t")[3])
+                     for line in summary["output"].splitlines())
+        # 6 batches x 10 clicks, every one sessionized exactly once.
+        assert clicks == 60
