@@ -18,9 +18,12 @@ byte-rate charges are identical in both modes.
 Every sweep asserts the four configurations produce **bit-identical**
 outputs (word counts, PageRank score bits, the TeraSort output file),
 then records records-per-virtual-second and the hottest rank's peak
-bytes.  Results append to ``BENCH_core.json`` at the repo root as a
-tracked trajectory; ``--check`` gates against the last committed entry
-and fails if batch WordCount throughput regressed more than 10%.
+bytes.  A second sweep runs batch WordCount and TeraSort on every
+storage backend (``pfs``/``kv``/``extsort``, see docs/storage.md) and
+asserts backend choice never changes an answer.  Results append to
+``BENCH_core.json`` at the repo root as a tracked trajectory;
+``--check`` gates against the last committed entry and fails if batch
+WordCount throughput on the default backend regressed more than 10%.
 
 Runs under pytest (``pytest benchmarks/bench_core_throughput.py``) or
 standalone::
@@ -44,6 +47,7 @@ from repro.core import MimirConfig
 from repro.datasets import edges_to_bytes, kronecker_edges
 from repro.datasets.words import uniform_text, zipf_text
 from repro.mpi.platforms import COMET, SCALE
+from repro.storage import BACKENDS
 
 NPROCS = 4
 #: Small pages so the codec's freeze-on-fill has several pages to
@@ -87,8 +91,8 @@ def measure(cluster, result, digest):
 
 # ------------------------------------------------------------------- apps
 
-def run_wordcount(batch, codec, *, nbytes, skewed):
-    cluster = Cluster(PLATFORM, nprocs=NPROCS)
+def run_wordcount(batch, codec, *, nbytes, skewed, storage=None):
+    cluster = Cluster(PLATFORM, nprocs=NPROCS, storage=storage)
     text = (zipf_text(nbytes, seed=7) if skewed
             else uniform_text(nbytes, seed=7))
     cluster.pfs.store("bench/words.txt", text)
@@ -121,8 +125,8 @@ def run_pagerank(batch, codec, *, scale, iterations):
     return measure(cluster, result, hashlib.sha256(blob).hexdigest())
 
 
-def run_terasort(batch, codec, *, nrecords):
-    cluster = Cluster(PLATFORM, nprocs=NPROCS)
+def run_terasort(batch, codec, *, nrecords, storage=None):
+    cluster = Cluster(PLATFORM, nprocs=NPROCS, storage=storage)
     cluster.pfs.store("bench/tera.in", generate_records(nrecords, seed=3))
     config = bench_config(codec)
     result = cluster.run(lambda env: terasort_mimir(
@@ -198,6 +202,34 @@ def check_apps(apps):
          f"{zipf['codec_peak_reduction']:.2f}x (need >= 1.2x)")
 
 
+def run_backend_sweep(smoke: bool, verbose: bool = False):
+    """Batch-mode WordCount and TeraSort on every storage backend.
+
+    The regression gate stays pinned to the default (pfs) rows in
+    ``apps``; this sweep adds the per-backend dimension - throughput on
+    each substrate plus proof the answers never depend on the backend.
+    """
+    text = 1 << 15 if smoke else 1 << 17
+    nrecords = 300 if smoke else 1500
+    backends = {}
+    for name, runner, kwargs in (
+            ("wordcount-uniform", run_wordcount,
+             {"nbytes": text, "skewed": False}),
+            ("terasort", run_terasort, {"nrecords": nrecords})):
+        rows = {}
+        for spec in BACKENDS:
+            rows[spec] = runner("batch", None, storage=spec, **kwargs)
+            if verbose:
+                row = rows[spec]
+                print(f"  {name:<18} backend={spec:<8} "
+                      f"{row['records_per_vsecond']:>12.0f} rec/vs")
+        digests = {row["digest"] for row in rows.values()}
+        assert len(digests) == 1, \
+            f"{name}: outputs diverged across backends: {digests}"
+        backends[name] = rows
+    return backends
+
+
 # ------------------------------------------------------------- trajectory
 
 def append_trajectory(path: Path, entry: dict) -> None:
@@ -213,11 +245,14 @@ def append_trajectory(path: Path, entry: dict) -> None:
 def make_entry(smoke: bool) -> dict:
     apps = run_sweep(smoke, verbose=True)
     check_apps(apps)
+    backends = run_backend_sweep(smoke, verbose=True)
     return {
         "smoke": smoke,
         "config": {"nprocs": NPROCS, "page_size": PAGE_SIZE,
-                   "record_overhead": RECORD_OVERHEAD, "codec": CODEC},
+                   "record_overhead": RECORD_OVERHEAD, "codec": CODEC,
+                   "backends": list(BACKENDS)},
         "apps": apps,
+        "backends": backends,
     }
 
 
@@ -281,6 +316,12 @@ def write_batch_trace(path: str, *, nbytes: int) -> None:
 
 
 # ------------------------------------------------------------------ pytest
+
+def test_backend_matrix_outputs_identical():
+    backends = run_backend_sweep(True)
+    for name, rows in backends.items():
+        assert {row["digest"] for row in rows.values()}, name
+
 
 def test_batch_speedup_codec_reduction_and_identity(benchmark):
     apps = benchmark.pedantic(run_sweep, args=(True,), rounds=1,

@@ -166,7 +166,7 @@ def cmd_serve(args) -> int:
 
     platform = PLATFORMS[args.platform]
     cluster = Cluster(platform, nprocs=args.nprocs,
-                      memory_limit=args.memory)
+                      memory_limit=args.memory, storage=args.storage)
     if args.stage_demo:
         from repro.sched.demo import stage_inputs
 
@@ -198,7 +198,8 @@ def cmd_serve(args) -> int:
               f"{', '.join(interrupted)}")
     port = daemon.start(host=args.host, port=args.port)
     print(f"repro serve: listening on http://{args.host}:{port} "
-          f"({args.platform}, {cluster.nprocs} ranks); Ctrl-C to stop")
+          f"({args.platform}, {cluster.nprocs} ranks, "
+          f"{cluster.pfs.name} storage); Ctrl-C to stop")
     try:
         deadline = time.monotonic() + args.duration if args.duration \
             else None
@@ -385,6 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--nprocs", type=int, default=4)
     p_srv.add_argument("--memory", default="auto",
                        help='per-rank memory budget (e.g. "512K")')
+    p_srv.add_argument("--storage", choices=("pfs", "kv", "extsort"),
+                       default=None,
+                       help="storage backend for the service substrate "
+                            "(default: REPRO_STORAGE_BACKEND or pfs; "
+                            "see docs/storage.md)")
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=0,
                        help="listen port (0 = ephemeral, printed)")

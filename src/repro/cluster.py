@@ -3,8 +3,11 @@
 :class:`Cluster` is what benchmarks and examples run jobs on.  It
 launches a :class:`~repro.mpi.world.World`, gives every rank a
 :class:`~repro.memory.tracker.MemoryTracker` bounded by the platform's
-per-process memory, and shares one :class:`ParallelFileSystem` with the
-platform's I/O cost model.  Job functions receive a :class:`RankEnv`.
+per-process memory, and shares one storage backend with the platform's
+I/O cost model - by default the simulated :class:`ParallelFileSystem`,
+or any :class:`~repro.storage.base.StorageBackend` selected via the
+``storage`` spec / ``REPRO_STORAGE_BACKEND`` (see :mod:`repro.storage`
+and docs/storage.md).  Job functions receive a :class:`RankEnv`.
 
 ``run(..., allow_oom=True)`` converts a rank's
 :class:`~repro.memory.tracker.MemoryLimitExceeded` into a result with
@@ -19,6 +22,7 @@ from typing import Any, Callable
 
 from repro.io.pfs import ParallelFileSystem
 from repro.memory.limits import parse_size
+from repro.storage import StorageBackend, make_backend
 from repro.memory.tracker import MemoryLimitExceeded, MemoryTracker
 from repro.mpi.comm import SimComm
 from repro.mpi.errors import RankFailedError
@@ -33,7 +37,10 @@ class RankEnv:
 
     comm: SimComm
     tracker: MemoryTracker
-    pfs: ParallelFileSystem
+    #: The cluster's storage substrate.  Named ``pfs`` for history, but
+    #: typed as the protocol: any :class:`~repro.storage.base.
+    #: StorageBackend` slots in (see :mod:`repro.storage`).
+    pfs: StorageBackend
     platform: Platform
     #: This rank's metrics shard (see :mod:`repro.obs.registry`).  A
     #: cluster launch substitutes a registry-backed shard; the default
@@ -54,6 +61,16 @@ class RankEnv:
         overhead = self.platform.record_overhead
         if overhead and nops:
             self.comm.advance(nops * overhead)
+
+    def storage_for(self, spec: str | None) -> StorageBackend:
+        """The backend a job's spill should use (``MimirConfig.storage``).
+
+        ``None`` - and the substrate's own name - mean "stay on the
+        cluster substrate"; any other spec resolves to a per-substrate
+        companion backend sharing the substrate's chaos and metrics
+        wiring (see :meth:`repro.storage.base.StorageBackend.companion`).
+        """
+        return self.pfs.companion(spec)
 
 
 @dataclass
@@ -87,7 +104,8 @@ class Cluster:
     def __init__(self, platform: Platform, nprocs: int | None = None, *,
                  nodes: int = 1,
                  memory_limit: int | str | None = "auto",
-                 pfs: ParallelFileSystem | None = None,
+                 pfs: StorageBackend | None = None,
+                 storage: str | None = None,
                  keep_timeline: bool = False,
                  chaos: Any = None):
         self.platform = platform
@@ -101,7 +119,14 @@ class Cluster:
         self._limit = self._resolve_limit()
         # Ranks of one node contend for the node's PFS bandwidth.
         sharers = -(-self.nprocs // nodes)
-        self.pfs = pfs or ParallelFileSystem(platform.pfs, sharers=sharers)
+        if pfs is not None:
+            # An explicit backend object always wins (tests share one
+            # substrate across clusters this way).
+            self.pfs = pfs
+        else:
+            # ``storage`` spec, else REPRO_STORAGE_BACKEND, else "pfs".
+            self.pfs = make_backend(storage, platform=platform,
+                                    sharers=sharers)
         self.keep_timeline = keep_timeline
         #: Optional chaos injector (duck-typed; see
         #: :class:`repro.ft.injection.ChaosPlan`).  Wired into the PFS

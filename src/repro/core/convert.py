@@ -104,7 +104,10 @@ def _iter_partition_dicts(env: RankEnv, kvc: KVContainer,
                  else kvc.nbytes or config.page_size)
     npart = max(1, -(-max(kvc.nbytes, 1) // budget))
 
-    writers = [SpillWriter(env.pfs, env.comm, f"cvt_{kvc.tag}_part{i}")
+    # Per-job spill redirection (MimirConfig.storage) applies to the
+    # partitioned-convert scratch files, same as container spill.
+    store = env.storage_for(config.storage) if config.storage else env.pfs
+    writers = [SpillWriter(store, env.comm, f"cvt_{kvc.tag}_part{i}")
                for i in range(npart)]
     staging: list[bytearray] = [bytearray() for _ in range(npart)]
     layout = kvc.layout

@@ -105,6 +105,12 @@ class Mimir:
                  profile: "PhaseProfile | None" = None, trace=None):
         self.env = env
         self.config = config or MimirConfig()
+        #: Backend this job's spill traffic lands on: the cluster
+        #: substrate unless ``config.storage`` redirects it to a
+        #: companion backend (inputs/outputs always stay on the
+        #: substrate).
+        self._spill_store = (env.storage_for(self.config.storage)
+                             if self.config.storage else None)
         #: Optional per-phase profiler (see :mod:`repro.core.metrics`).
         self.profile = profile
         #: Optional structured event sink (see :mod:`repro.tools.trace`).
@@ -128,6 +134,7 @@ class Mimir:
             self.env.tracker, stream_layout,
             self.config.page_size, tag=out_tag,
             spill_env=self.env if self.config.out_of_core else None,
+            spill_store=self._spill_store,
             codec=get_codec(self.config.codec, stream_layout),
             codec_env=self.env)
         span = self.profile.phase("map+aggregate") if self.profile \
@@ -191,7 +198,8 @@ class Mimir:
             return kvc
         scratch = KVContainer(
             self.env.tracker, kvc.layout, self.config.page_size, tag=tag,
-            spill_env=self.env if self.config.out_of_core else None)
+            spill_env=self.env if self.config.out_of_core else None,
+            spill_store=self._spill_store)
         for batch in kvc.batches():
             scratch.extend_encoded(batch.arena)
         self.env.charge_compute(scratch.nbytes)
@@ -360,7 +368,8 @@ class Mimir:
             out = KVContainer(
                 self.env.tracker, out_layout or KVLayout(),
                 self.config.page_size, tag=out_tag,
-                spill_env=self.env if self.config.out_of_core else None)
+                spill_env=self.env if self.config.out_of_core else None,
+                spill_store=self._spill_store)
             ctx = ReduceContext(out)
             reduced_bytes = 0
             reduced_keys = 0

@@ -63,10 +63,16 @@ def chaos_wordcount(env, ckpt, faults):
     return counts
 
 
-def make_wordcount_cluster(nprocs: int = 4) -> Cluster:
+def make_wordcount_cluster(nprocs: int = 4,
+                           storage: str | None = None) -> Cluster:
     """A fresh cluster with the harness input staged (one per run -
-    chaos mutates PFS state, so runs must not share a file system)."""
-    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None)
+    chaos mutates storage state, so runs must not share a substrate).
+
+    ``storage`` picks the backend (see :mod:`repro.storage`); the sweep
+    must converge to bit-identical output on every one of them.
+    """
+    cluster = Cluster(COMET, nprocs=nprocs, memory_limit=None,
+                      storage=storage)
     cluster.pfs.store(INPUT_PATH, TEXT)
     return cluster
 
@@ -150,9 +156,10 @@ def verify_accounting(ft: FTResult, plan: ChaosPlan) -> list[str]:
 
 def run_chaos_sweep(nseeds: int = 20, *, nprocs: int = 4,
                     intensity: float = 1.0, max_restarts: int = 12,
+                    storage: str | None = None,
                     verbose: bool = False) -> ChaosSweepResult:
     """Sweep ``nseeds`` seeded schedules; compare against a clean run."""
-    baseline = run_with_recovery(make_wordcount_cluster(nprocs),
+    baseline = run_with_recovery(make_wordcount_cluster(nprocs, storage),
                                  chaos_wordcount, job_id="chaos-baseline")
     expected = _canonical(baseline.result.returns)
 
@@ -160,7 +167,7 @@ def run_chaos_sweep(nseeds: int = 20, *, nprocs: int = 4,
     for seed in range(nseeds):
         plan = ChaosPlan.random(seed, nprocs, tags=CHAOS_TAGS,
                                 intensity=intensity)
-        ft = run_with_recovery(make_wordcount_cluster(nprocs),
+        ft = run_with_recovery(make_wordcount_cluster(nprocs, storage),
                                chaos_wordcount, faults=plan,
                                job_id="chaos", max_restarts=max_restarts)
         record = ChaosRunRecord(
@@ -188,12 +195,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="number of seeded schedules (default 20)")
     parser.add_argument("--procs", type=int, default=4)
     parser.add_argument("--intensity", type=float, default=1.0)
+    from repro.storage import BACKENDS
+
+    parser.add_argument("--storage", choices=BACKENDS, default=None,
+                        help="storage backend to sweep on "
+                             "(default: REPRO_STORAGE_BACKEND or pfs)")
     args = parser.parse_args(argv)
 
     print(f"chaos sweep: {args.seeds} schedules x {args.procs} ranks "
-          f"(intensity {args.intensity:g})")
+          f"(intensity {args.intensity:g}, "
+          f"storage {args.storage or 'default'})")
     sweep = run_chaos_sweep(args.seeds, nprocs=args.procs,
-                            intensity=args.intensity, verbose=True)
+                            intensity=args.intensity,
+                            storage=args.storage, verbose=True)
     faulty = [r for r in sweep.records if r.plan.counts()]
     print(f"baseline elapsed : {sweep.baseline_elapsed:.3f}s")
     print(f"schedules with faults: {len(faulty)}/{len(sweep.records)}")

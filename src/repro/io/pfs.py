@@ -6,35 +6,28 @@ through a communicator charge virtual time using the platform's
 zero-cost staging hooks for test and benchmark setup (the equivalent
 of data already resident before the timed job starts is *not* free -
 input reads go through :meth:`read` - but generating the dataset is).
+
+Since the storage refactor the PFS is one implementation of the
+:class:`~repro.storage.base.StorageBackend` protocol - the *reference*
+implementation, whose cost math, stats accounting, chaos-hook call
+order, and metric names (the historical ``io.pfs.*`` namespace) are
+bit-identical to the pre-protocol behaviour.  Checkpoints, spill
+streams, the stage cache, and the serve journal all program against
+the protocol, so they run unchanged on the alternate backends in
+:mod:`repro.storage`.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any
 
-from repro.io.errors import PFSFileNotFoundError
-from repro.mpi.comm import SimComm
 from repro.mpi.costmodel import PFSModel
+from repro.storage.base import FileStats, StorageBackend
+
+__all__ = ["FileStats", "ParallelFileSystem"]
 
 
-@dataclass
-class FileStats:
-    """Aggregate traffic counters for one file system."""
-
-    bytes_read: int = 0
-    bytes_written: int = 0
-    reads: int = 0
-    writes: int = 0
-    by_prefix: dict[str, int] = field(default_factory=dict)
-
-    def _charge(self, path: str, nbytes: int) -> None:
-        prefix = path.split("/", 1)[0] if "/" in path else path
-        self.by_prefix[prefix] = self.by_prefix.get(prefix, 0) + nbytes
-
-
-class ParallelFileSystem:
+class ParallelFileSystem(StorageBackend):
     """Thread-safe shared blob store with an I/O cost model.
 
     ``sharers`` models bandwidth contention: the ranks of one node
@@ -43,166 +36,31 @@ class ParallelFileSystem:
     fully populated node as catastrophic as the paper's Figure 1.
     """
 
+    name = "pfs"
+
+    METRIC_READS = "io.pfs.reads"
+    METRIC_WRITES = "io.pfs.writes"
+    METRIC_BYTES_READ = "io.pfs.bytes_read"
+    METRIC_BYTES_WRITTEN = "io.pfs.bytes_written"
+
     def __init__(self, model: PFSModel | None = None, sharers: int = 1):
         if sharers <= 0:
             raise ValueError(f"sharers must be positive, got {sharers}")
-        self.model = model or PFSModel(latency=0.0, bandwidth=float("inf"))
+        super().__init__(model)
         self.sharers = sharers
         self._files: dict[str, bytearray] = {}
         self._lock = threading.Lock()
-        self.stats = FileStats()
-        #: Optional fault injector (see :class:`repro.ft.injection.
-        #: ChaosPlan`); duck-typed to keep this substrate dependency-free.
-        self.chaos: Any = None
-        #: Optional :class:`repro.obs.registry.MetricsRegistry` (duck-
-        #: typed) installed by the cluster harness; costed accesses are
-        #: then charged to the calling rank's metric shard.
-        self.metrics: Any = None
 
-    def _shard(self, comm: SimComm):
-        """The calling rank's metric shard, or ``None`` untracked."""
-        if self.metrics is None:
-            return None
-        return self.metrics.shard(comm.rank)
+    # --------------------------------------------------- blob primitives
 
-    def _require(self, path: str) -> bytearray:
-        """Look up ``path`` or raise a descriptive not-found error.
+    def _bucket(self, path: str) -> tuple[threading.Lock, dict]:
+        return self._lock, self._files
 
-        Must be called with ``self._lock`` held.
-        """
-        try:
-            return self._files[path]
-        except KeyError:
-            near = [p for p in self._files
-                    if p.rsplit("/", 1)[0] == path.rsplit("/", 1)[0]]
-            hint = f"{len(near)} sibling file(s) under the same directory" \
-                if near else "no files under that directory"
-            raise PFSFileNotFoundError(path, hint) from None
+    def _snapshot_keys(self) -> list[str]:
+        with self._lock:
+            return list(self._files)
 
-    def _cost(self, nbytes: int, write: bool = False) -> float:
+    def _cost(self, path: str, nbytes: int, write: bool = False) -> float:
         bw = self.model.effective_write_bandwidth if write else \
             self.model.effective_bandwidth
         return self.model.latency + nbytes * self.sharers / bw
-
-    # -------------------------------------------------------- cost-free staging
-
-    def store(self, path: str, data: bytes | bytearray) -> None:
-        """Place a file without charging time (dataset staging)."""
-        with self._lock:
-            self._files[path] = bytearray(data)
-
-    def fetch(self, path: str) -> bytes:
-        """Read a file without charging time (result inspection)."""
-        with self._lock:
-            return bytes(self._require(path))
-
-    def exists(self, path: str) -> bool:
-        with self._lock:
-            return path in self._files
-
-    def size(self, path: str) -> int:
-        with self._lock:
-            return len(self._require(path))
-
-    def listdir(self, prefix: str = "") -> list[str]:
-        with self._lock:
-            return sorted(p for p in self._files if p.startswith(prefix))
-
-    def delete(self, path: str) -> None:
-        with self._lock:
-            self._files.pop(path, None)
-
-    # ------------------------------------------------------------ costed I/O
-
-    def read(self, comm: SimComm, path: str, offset: int = 0,
-             size: int | None = None) -> bytes:
-        """Read ``size`` bytes at ``offset``, charging the caller's clock."""
-        if self.chaos is not None:
-            self.chaos.on_access(comm, "read", path)
-        with self._lock:
-            blob = self._require(path)
-            end = len(blob) if size is None else min(offset + size, len(blob))
-            data = bytes(blob[offset:end])
-            self.stats.bytes_read += len(data)
-            self.stats.reads += 1
-            self.stats._charge(path, len(data))
-        shard = self._shard(comm)
-        if shard is not None:
-            shard.inc("io.pfs.reads")
-            shard.inc("io.pfs.bytes_read", len(data))
-        comm.advance(self._cost(len(data)))
-        return data
-
-    def write(self, comm: SimComm, path: str, data: bytes | bytearray) -> None:
-        """Replace ``path`` with ``data``, charging the caller's clock.
-
-        Under chaos injection the write may fail transiently *before*
-        taking effect, land corrupted, or land torn (a prefix is stored
-        and the rank dies) - the failure modes checksummed checkpoints
-        exist to catch.
-        """
-        raise_after: BaseException | None = None
-        if self.chaos is not None:
-            data, raise_after = self.chaos.on_write(comm, path, bytes(data))
-        with self._lock:
-            self._files[path] = bytearray(data)
-            self.stats.bytes_written += len(data)
-            self.stats.writes += 1
-            self.stats._charge(path, len(data))
-        shard = self._shard(comm)
-        if shard is not None:
-            shard.inc("io.pfs.writes")
-            shard.inc("io.pfs.bytes_written", len(data))
-        comm.advance(self._cost(len(data), write=True))
-        if raise_after is not None:
-            raise raise_after
-
-    def write_at(self, comm: SimComm, path: str, offset: int,
-                 data: bytes | bytearray) -> None:
-        """Positional write (MPI-IO style): ranks fill disjoint regions.
-
-        The file grows as needed; unwritten gaps read as zero bytes.
-        """
-        if offset < 0:
-            raise ValueError(f"offset must be non-negative, got {offset}")
-        if self.chaos is not None:
-            self.chaos.on_access(comm, "write_at", path)
-        with self._lock:
-            blob = self._files.setdefault(path, bytearray())
-            end = offset + len(data)
-            if len(blob) < end:
-                blob.extend(b"\0" * (end - len(blob)))
-            blob[offset:end] = data
-            self.stats.bytes_written += len(data)
-            self.stats.writes += 1
-            self.stats._charge(path, len(data))
-        shard = self._shard(comm)
-        if shard is not None:
-            shard.inc("io.pfs.writes")
-            shard.inc("io.pfs.bytes_written", len(data))
-        comm.advance(self._cost(len(data), write=True))
-
-    def append(self, comm: SimComm, path: str, data: bytes | bytearray) -> int:
-        """Append ``data``; returns the offset it was written at."""
-        if self.chaos is not None:
-            self.chaos.on_access(comm, "append", path)
-        with self._lock:
-            blob = self._files.setdefault(path, bytearray())
-            offset = len(blob)
-            blob.extend(data)
-            self.stats.bytes_written += len(data)
-            self.stats.writes += 1
-            self.stats._charge(path, len(data))
-        shard = self._shard(comm)
-        if shard is not None:
-            shard.inc("io.pfs.writes")
-            shard.inc("io.pfs.bytes_written", len(data))
-        comm.advance(self._cost(len(data), write=True))
-        return offset
-
-    # ------------------------------------------------------------- reporting
-
-    @property
-    def spilled_bytes(self) -> int:
-        """Bytes written under the ``spill`` prefix (out-of-core traffic)."""
-        return self.stats.by_prefix.get("spill", 0)

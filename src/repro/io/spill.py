@@ -1,17 +1,22 @@
-"""Out-of-core spill streams on the parallel file system.
+"""Out-of-core spill streams on a storage backend.
 
 When a framework's in-memory page fills, the page contents are written
 to a per-rank spill stream and later read back one chunk at a time.
 Chunk boundaries are preserved so that record encodings (which never
 straddle a page) can be decoded chunk-by-chunk on the way back in.
+
+Spill streams program against the :class:`~repro.storage.base.
+StorageBackend` protocol (``append``/``read``/``delete``), so they run
+unchanged on any backend - the shared PFS, the sharded KV store, or
+the external-sort backend's node-local namespace.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.io.pfs import ParallelFileSystem
 from repro.mpi.comm import SimComm
+from repro.storage.base import StorageBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.codec import Codec
@@ -27,7 +32,7 @@ class SpillWriter:
     the original page payloads.
     """
 
-    def __init__(self, pfs: ParallelFileSystem, comm: SimComm, name: str,
+    def __init__(self, pfs: StorageBackend, comm: SimComm, name: str,
                  *, codec: "Codec | None" = None):
         self.pfs = pfs
         self.comm = comm
@@ -72,7 +77,7 @@ class SpillWriter:
 class SpillReader:
     """Reads chunks back in write order, charging PFS read costs."""
 
-    def __init__(self, pfs: ParallelFileSystem, comm: SimComm, path: str,
+    def __init__(self, pfs: StorageBackend, comm: SimComm, path: str,
                  chunks: list[tuple[int, int]], *,
                  codec: "Codec | None" = None):
         self.pfs = pfs
@@ -89,10 +94,13 @@ class SpillReader:
         if self._next >= len(self.chunks):
             raise StopIteration
         offset, length = self.chunks[self._next]
-        self._next += 1
         data = self.pfs.read(self.comm, self.path, offset, length)
         if self.codec is not None:
             data = self.codec.decode_frame(data)
+        # Advance only after the read succeeds: a transient fault
+        # surfaced to a retry wrapper must re-read this chunk, not
+        # silently skip it.
+        self._next += 1
         return data
 
     @property

@@ -145,6 +145,20 @@ register("io.pfs.bytes_written", COUNTER, "bytes", "repro.io.pfs",
 register("io.pfs.retries", COUNTER, "calls", "repro.io.errors",
          "transient PFS errors absorbed by the retry/backoff wrapper")
 
+register("storage.reads", COUNTER, "calls", "repro.storage.base",
+         "costed read operations on non-PFS storage backends")
+register("storage.writes", COUNTER, "calls", "repro.storage.base",
+         "costed write/write_at/append operations on non-PFS backends")
+register("storage.bytes_read", COUNTER, "bytes", "repro.storage.base",
+         "bytes read through the costed path of non-PFS backends")
+register("storage.bytes_written", COUNTER, "bytes", "repro.storage.base",
+         "bytes written through the costed path of non-PFS backends")
+register("storage.extsort.runs", COUNTER, "runs", "repro.storage.extsort",
+         "sorted runs formed by the external-sort driver")
+register("storage.extsort.merged_records", COUNTER, "records",
+         "repro.storage.extsort",
+         "records streamed through the external-sort k-way merge")
+
 register("ft.faults.injected", COUNTER, "faults", "repro.ft.injection",
          "chaos faults that actually fired (errors, corruption, death)")
 register("ft.restarts", COUNTER, "restarts", "repro.ft.runner",

@@ -8,13 +8,21 @@ job - or a second iteration - that builds the same stage from the same
 lineage gets the container back instead of recomputing it.
 
 Under memory pressure (:meth:`ensure_room`) the least-recently-used
-unpinned entries are *spilled* to the PFS through the normal costed
-I/O path and transparently reloaded on the next hit - spilling and
-reloading are rank-local, so one rank may serve an entry from memory
-while another reads it back from disk without any collective
-coordination.  A *hard* :meth:`drop` discards an entry entirely; the
-runner then recomputes it from lineage, which involves collectives, so
-drops must be performed on every rank together.
+unpinned entries are *spilled* through the normal costed I/O path of
+the cluster's storage backend and transparently reloaded on the next
+hit - spilling and reloading are rank-local, so one rank may serve an
+entry from memory while another reads it back from storage without any
+collective coordination.  A *hard* :meth:`drop` discards an entry
+entirely; the runner then recomputes it from lineage, which involves
+collectives, so drops must be performed on every rank together.
+
+Eviction and reload speak the :class:`~repro.storage.base.
+StorageBackend` protocol only: transient faults are absorbed by
+:func:`~repro.io.errors.retrying` (an eviction under chaos retries
+instead of killing the launch), and the spill path is deleted before
+eviction writes to it - a recompute after a :meth:`drop` that left a
+stale spill file behind (e.g. a drop issued before the cache was
+attached to an environment) must not append behind the stale bytes.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from typing import Any, Callable
 from repro.cluster import RankEnv
 from repro.core.kvcontainer import KVContainer
 from repro.core.records import KVLayout
+from repro.io.errors import retrying
 
 
 @dataclass
@@ -40,7 +49,7 @@ class CacheEntry:
     tag: str
     tick: int = 0
     nbytes: int = 0
-    #: PFS location + chunk table when evicted from memory.
+    #: Storage location + chunk table when evicted from memory.
     spill_path: str | None = None
     spill_chunks: list[tuple[int, int]] = field(default_factory=list)
 
@@ -124,7 +133,7 @@ class StageCache:
         self.entries[key] = entry
 
     def get(self, key: str) -> KVContainer:
-        """The cached container, reloading a spilled entry from the PFS."""
+        """The cached container, reloading a spilled entry from storage."""
         entry = self.entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -142,16 +151,26 @@ class StageCache:
         return f"spill/cache_{entry.key}.{self.rank}"
 
     def _evict(self, entry: CacheEntry) -> int:
-        """Write one resident entry's pages to the PFS and free them."""
+        """Write one resident entry's pages to storage and free them.
+
+        The spill path is deterministic (stage key + rank), so a stale
+        file from an earlier incarnation of the same key - dropped
+        while spilled with no environment attached, or abandoned by a
+        killed launch - may still exist.  It is deleted first; the
+        chunk table must describe exactly the bytes written *now*, and
+        appending behind stale bytes would leak them forever.
+        """
         env = self.env
         assert env is not None and entry.kvc is not None
         path = self._spill_path(entry)
+        env.pfs.delete(path)
         chunks: list[tuple[int, int]] = []
         for page in entry.kvc.pages:
             payload = bytes(page.view)
             if not payload:
                 continue
-            offset = env.pfs.append(env.comm, path, payload)
+            offset = retrying(
+                env.comm, lambda: env.pfs.append(env.comm, path, payload))
             chunks.append((offset, len(payload)))
         freed = entry.kvc.memory_bytes
         entry.kvc.free()
@@ -171,7 +190,10 @@ class StageCache:
         kvc = KVContainer(env.tracker, entry.layout, entry.page_size,
                           tag=entry.tag)
         for offset, length in entry.spill_chunks:
-            chunk = env.pfs.read(env.comm, entry.spill_path, offset, length)
+            chunk = retrying(
+                env.comm,
+                lambda: env.pfs.read(env.comm, entry.spill_path,
+                                     offset, length))
             kvc.extend_encoded(chunk)
         env.pfs.delete(entry.spill_path)
         entry.kvc = kvc
